@@ -1,0 +1,106 @@
+"""Ablation: WBGA vs NSGA-II on the two stages of the flow.
+
+Two findings this reproduction documents (DESIGN.md / filter_flow):
+
+* On the OTA stage (raw gain/PM objectives) the paper's WBGA works well:
+  its archive front covers the same trade-off as NSGA-II's.
+* On the filter stage (spec-margin objectives) the WBGA *degenerates*:
+  because the weights evolve inside the chromosome, an individual that
+  maximises one margin while carrying the matching one-sided weight
+  vector earns a perfect weighted fitness, so the population splits into
+  two specialist clusters and rarely finds the feasible knee where both
+  margins are positive.  NSGA-II's crowded non-dominated selection finds
+  the knee on every seed.  This is why the filter flow uses NSGA-II.
+
+Benchmarks one NSGA-II run on the filter problem.
+"""
+
+import numpy as np
+
+from repro.designs.problems import BehavioralFilterProblem
+from repro.mc.sampler import stream
+from repro.moo import GAConfig, run_nsga2, run_wbga
+
+
+def _best_worst_margin(result) -> float:
+    return float(np.min(result.all_objectives, axis=1).max())
+
+
+def _feasible_count(result) -> int:
+    return int(np.sum(np.min(result.all_objectives, axis=1) > 0))
+
+
+def test_wbga_vs_nsga2_on_filter_problem(emit, benchmark):
+    config = GAConfig(population_size=24, generations=25, seed=2008)
+    seeds = (2008, 7, 42)
+
+    wbga_margins, wbga_feasible = [], []
+    nsga_margins, nsga_feasible = [], []
+    for seed in seeds:
+        wbga = run_wbga(
+            BehavioralFilterProblem(ota_gain_db=50.5, ota_ro=1.1e6),
+            config, rng=stream(seed, "ablation-wbga"))
+        wbga_margins.append(_best_worst_margin(wbga))
+        wbga_feasible.append(_feasible_count(wbga))
+
+        nsga = run_nsga2(
+            BehavioralFilterProblem(ota_gain_db=50.5, ota_ro=1.1e6),
+            config, rng=stream(seed, "ablation-nsga2"))
+        nsga_margins.append(_best_worst_margin(nsga))
+        nsga_feasible.append(_feasible_count(nsga))
+
+    benchmark.pedantic(
+        run_nsga2,
+        args=(BehavioralFilterProblem(ota_gain_db=50.5, ota_ro=1.1e6),
+              config),
+        kwargs={"rng": stream(2008, "ablation-nsga2-bench")},
+        iterations=1, rounds=1)
+
+    lines = [
+        f"{'optimiser':<10} {'worst-margin per seed':>26} "
+        f"{'feasible evals per seed':>26}",
+        f"{'WBGA':<10} "
+        f"{'  '.join(f'{m:6.3f}' for m in wbga_margins):>26} "
+        f"{'  '.join(f'{c:5d}' for c in wbga_feasible):>26}",
+        f"{'NSGA-II':<10} "
+        f"{'  '.join(f'{m:6.3f}' for m in nsga_margins):>26} "
+        f"{'  '.join(f'{c:5d}' for c in nsga_feasible):>26}",
+        "",
+        "positive worst-margin = satisfies the full filter mask;",
+        "NSGA-II reaches the feasible knee on every seed, while the",
+        "WBGA's specialist takeover makes it unreliable here (see the",
+        "filter_flow module docstring)",
+    ]
+    emit("ablation_optimizer_filter", "\n".join(lines))
+
+    # NSGA-II reliably reaches the feasible knee on every seed...
+    assert min(nsga_margins) > 0.1
+    # ...and dominates the WBGA in aggregate: at least as good a knee on
+    # median, and far more of the search effort lands in the feasible
+    # region (the reliability the flow needs).
+    assert float(np.median(nsga_margins)) >= \
+        float(np.median(wbga_margins)) - 0.02
+    assert sum(nsga_feasible) > 2 * sum(wbga_feasible)
+
+
+def test_wbga_adequate_on_ota_problem(flow_result, emit, benchmark):
+    """On the OTA's raw objectives the paper's WBGA front is healthy:
+    wide coverage and a genuine trade-off (validating the paper's choice
+    for the model-building stage)."""
+    front = flow_result.pareto_objectives
+    # Benchmark the front extraction over the full WBGA archive.
+    from repro.moo.pareto import non_dominated_mask
+    benchmark(non_dominated_mask,
+              flow_result.wbga.problem.oriented(
+                  flow_result.wbga.all_objectives))
+    gain_span = front[:, 0].max() - front[:, 0].min()
+    pm_span = front[:, 1].max() - front[:, 1].min()
+
+    lines = [
+        f"WBGA OTA front: {front.shape[0]} modelled points",
+        f"gain span {gain_span:.1f} dB, pm span {pm_span:.1f} deg",
+    ]
+    emit("ablation_optimizer_ota", "\n".join(lines))
+
+    assert gain_span > 5.0
+    assert pm_span > 3.0

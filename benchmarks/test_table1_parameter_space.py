@@ -1,0 +1,32 @@
+"""E-T1: the paper's Table 1 -- the OTA designable-parameter space.
+
+Regenerates the parameter/range rows exactly as printed in the paper and
+benchmarks the cost of building + compiling the parameterised OTA
+testbench (the per-candidate fixed cost of the whole flow).
+"""
+
+from repro.analysis import Assembler
+from repro.designs import OTA_DESIGN_SPACE, OTAParameters, build_ota
+
+
+def test_table1_rows(emit, benchmark):
+    rows = OTA_DESIGN_SPACE.table1_rows()
+
+    lines = [f"{'Design Parameter:':<24} Range:"]
+    for name, rng in rows:
+        lines.append(f"{name:<24} {rng}")
+    emit("table1_parameter_space", "\n".join(lines))
+
+    # Paper fidelity: 8 W/L parameters + 2 normalised weights.
+    assert len(rows) == 10
+    assert rows[0][0].startswith("W1")
+    assert rows[0][1] == "10um - 60um"
+    assert rows[1][1] == "0.35um - 4um"
+    assert rows[-1][0] == "Wg2 (Phase weight)"
+
+    def build_and_compile():
+        circuit = build_ota(OTAParameters())
+        return Assembler(circuit).n
+
+    n_unknowns = benchmark(build_and_compile)
+    assert n_unknowns > 8  # nodes + branch unknowns of the testbench

@@ -1,0 +1,40 @@
+"""repro -- combined yield + performance behavioural modelling for
+analogue ICs.
+
+A from-scratch reproduction of Ali, Wilcock, Wilson & Brown, "A New
+Approach for Combining Yield and Performance in Behavioural Models for
+Analogue Integrated Circuits" (DATE 2008), including every substrate the
+paper relies on: a batched MNA circuit simulator, a statistical 0.35 um
+process kit, the weight-based genetic algorithm, Monte-Carlo engines,
+Verilog-A ``$table_model`` emulation, and the combined
+performance/variation yield model itself.
+
+Quick start::
+
+    from repro.flow import run_model_build_flow, reduced_config
+    from repro.measure import Spec, SpecSet
+
+    result = run_model_build_flow(reduced_config())
+    specs = SpecSet([Spec("gain_db", "ge", 50.0, "dB"),
+                     Spec("pm_deg", "ge", 74.0, "deg")])
+    design = result.model.design_for_specs(specs)
+    print(design.parameters)
+
+See ``examples/`` for complete walkthroughs and ``benchmarks/`` for the
+per-table/figure reproduction harness.
+"""
+
+from .errors import (AnalysisError, ConvergenceError, ExtrapolationError,
+                     NetlistError, OptimizationError, ParseError, ReproError,
+                     SingularMatrixError, SpecificationError, TableModelError,
+                     YieldModelError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError", "ConvergenceError", "ExtrapolationError",
+    "NetlistError", "OptimizationError", "ParseError", "ReproError",
+    "SingularMatrixError", "SpecificationError", "TableModelError",
+    "YieldModelError",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Circuit analyses: DC operating point, AC sweeps, transient, sweeps."""
+
+from .ac import ACResult, ac_analysis, log_frequencies
+from .dc import NewtonOptions, OperatingPoint, dc_operating_point
+from .mna import Assembler, solve_batched
+from .noise import NoiseResult, noise_analysis
+from .sweep import dc_sweep, with_element_values
+from .tran import TransientResult, transient_analysis
+
+__all__ = [
+    "ACResult", "ac_analysis", "log_frequencies",
+    "NewtonOptions", "OperatingPoint", "dc_operating_point",
+    "Assembler", "solve_batched",
+    "NoiseResult", "noise_analysis",
+    "dc_sweep", "with_element_values",
+    "TransientResult", "transient_analysis",
+]

@@ -1,0 +1,226 @@
+"""DC operating-point analysis: batched Newton-Raphson with homotopies.
+
+The solver runs damped Newton-Raphson on the whole circuit batch at once.
+If plain iteration fails it escalates through the two classic SPICE
+continuation strategies:
+
+1. **gmin stepping** -- a large conductance to ground is added to every
+   node and decades are peeled off until only the floor ``GMIN`` remains;
+2. **source stepping** -- all independent sources are ramped from a small
+   fraction to 100 %.
+
+Only if both fail does :class:`~repro.errors.ConvergenceError` escape.
+All iterations operate on the full batch; convergence is tracked per lane
+and converged lanes are frozen so late-converging lanes cannot disturb
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mna import Assembler, solve_batched
+
+__all__ = ["NewtonOptions", "OperatingPoint", "dc_operating_point"]
+
+#: Conductance floor always present on node diagonals (SPICE GMIN).
+GMIN_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Tuning knobs for the Newton-Raphson DC solver.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration budget per Newton attempt.
+    reltol, vabstol:
+        Per-unknown convergence test ``|dx| <= reltol*|x| + vabstol``.
+    dv_limit:
+        Per-iteration per-unknown update clamp [V]; the damping that keeps
+        exponential device models from overshooting.
+    gmin_steps:
+        Decades used by gmin stepping (from ``10**-gmin_start`` down).
+    source_steps:
+        Number of source-stepping ramp points.
+    """
+
+    max_iterations: int = 200
+    reltol: float = 1e-6
+    vabstol: float = 1e-9
+    dv_limit: float = 0.5
+    gmin_start_exponent: int = 2
+    gmin_steps: int = 11
+    source_steps: int = 12
+
+
+@dataclass
+class OperatingPoint:
+    """Result of a DC operating-point analysis.
+
+    Attributes
+    ----------
+    x:
+        Solution vector, shape ``(B, N)`` -- node voltages followed by
+        auxiliary branch currents.
+    iterations:
+        Total Newton iterations spent (all strategies).
+    strategy:
+        Which strategy converged: ``"newton"``, ``"gmin"`` or ``"source"``.
+    """
+
+    circuit: object
+    assembler: Assembler
+    x: np.ndarray
+    iterations: int
+    strategy: str
+
+    @property
+    def batch(self) -> int:
+        return self.x.shape[0]
+
+    def v(self, node: str) -> np.ndarray:
+        """Node voltage(s), shape ``(B,)``; ground returns zeros."""
+        index = self.assembler.topology.index_of(node)
+        if index < 0:
+            return np.zeros(self.batch)
+        return self.x[:, index]
+
+    def branch_current(self, source_name: str) -> np.ndarray:
+        """Branch current of a voltage source, shape ``(B,)``.
+
+        Sign convention: positive current flows from the ``plus`` node
+        through the source to ``minus`` (SPICE).
+        """
+        element = self.circuit.element(source_name)
+        return self.x[:, element.branch_index]
+
+    def device(self, name: str) -> dict[str, np.ndarray]:
+        """Operating-point report of a (nonlinear) device."""
+        return self.circuit.element(name).op_info(self.x)
+
+    def report(self) -> str:
+        """Human-readable OP table (first batch lane)."""
+        lines = [f"* operating point ({self.strategy}, {self.iterations} iterations)"]
+        for name in self.assembler.topology.node_names:
+            lines.append(f"  V({name}) = {self.v(name)[0]: .6g} V")
+        for element in self.circuit.nonlinear_elements():
+            info = element.op_info(self.x)
+            if not info:
+                continue
+            parts = ", ".join(
+                f"{key}={np.asarray(val).reshape(-1)[0]:.4g}"
+                for key, val in info.items())
+            lines.append(f"  {element.name}: {parts}")
+        return "\n".join(lines)
+
+
+def _newton_attempt(assembler: Assembler, x0: np.ndarray, options: NewtonOptions,
+                    *, gmin: float, source_scale: float,
+                    time: float | None = None) -> tuple[np.ndarray, bool, int]:
+    """One damped-Newton run; returns ``(x, all_converged, iterations)``."""
+    x = x0.copy()
+    batch = x.shape[0]
+    converged = np.zeros(batch, dtype=bool)
+    for iteration in range(1, options.max_iterations + 1):
+        G, rhs = assembler.newton_system(
+            x, gmin=gmin + GMIN_FLOOR, source_scale=source_scale, time=time)
+        x_new = solve_batched(G, rhs)
+        dx = np.clip(x_new - x, -options.dv_limit, options.dv_limit)
+        tol = options.reltol * np.abs(x) + options.vabstol
+        lane_converged = np.all(np.abs(dx) <= tol, axis=1)
+        # Freeze already-converged lanes; advance the rest.
+        x = np.where(converged[:, None], x, x + dx)
+        converged |= lane_converged
+        if np.all(converged):
+            return x, True, iteration
+    return x, False, options.max_iterations
+
+
+def dc_operating_point(circuit, *, options: NewtonOptions | None = None,
+                       x0: np.ndarray | None = None,
+                       source_scale: float = 1.0,
+                       time: float | None = None,
+                       assembler: Assembler | None = None) -> OperatingPoint:
+    """Solve the DC operating point of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve; may be batched.
+    x0:
+        Optional initial guess ``(B, N)`` (warm start).
+    source_scale:
+        Fraction of the independent sources to apply (used internally by
+        source stepping; exposed for ramp studies).
+    time:
+        When set, sources take their transient value at ``time`` (used by
+        the transient integrator).
+
+    Raises
+    ------
+    ConvergenceError
+        If Newton, gmin stepping and source stepping all fail.
+    """
+    options = options or NewtonOptions()
+    assembler = assembler or Assembler(circuit)
+    n, batch = assembler.n, assembler.batch
+    x = np.zeros((batch, n)) if x0 is None else np.array(x0, dtype=float)
+    if x.ndim == 1:
+        x = np.broadcast_to(x, (batch, n)).copy()
+    total_iterations = 0
+
+    # Strategy 1: plain Newton from the initial guess.
+    x_try, ok, used = _newton_attempt(
+        assembler, x, options, gmin=0.0, source_scale=source_scale, time=time)
+    total_iterations += used
+    if ok:
+        return OperatingPoint(circuit, assembler, x_try, total_iterations, "newton")
+
+    # Strategy 2: gmin stepping.
+    x_step = x.copy()
+    gmin_ok = True
+    for exponent in np.linspace(-options.gmin_start_exponent, -12, options.gmin_steps):
+        gmin = 10.0 ** exponent
+        x_step, ok, used = _newton_attempt(
+            assembler, x_step, options, gmin=gmin, source_scale=source_scale,
+            time=time)
+        total_iterations += used
+        if not ok:
+            gmin_ok = False
+            break
+    if gmin_ok:
+        x_try, ok, used = _newton_attempt(
+            assembler, x_step, options, gmin=0.0, source_scale=source_scale,
+            time=time)
+        total_iterations += used
+        if ok:
+            return OperatingPoint(circuit, assembler, x_try, total_iterations, "gmin")
+
+    # Strategy 3: source stepping (with a light gmin safety net removed at
+    # the final full-scale clean solve).
+    x_step = np.zeros((batch, n))
+    for scale in np.linspace(1.0 / options.source_steps, 1.0, options.source_steps):
+        x_step, ok, used = _newton_attempt(
+            assembler, x_step, options, gmin=1e-9,
+            source_scale=scale * source_scale, time=time)
+        total_iterations += used
+        if not ok:
+            break
+    else:
+        x_try, ok, used = _newton_attempt(
+            assembler, x_step, options, gmin=0.0, source_scale=source_scale,
+            time=time)
+        total_iterations += used
+        if ok:
+            return OperatingPoint(circuit, assembler, x_try, total_iterations,
+                                  "source")
+
+    raise ConvergenceError(
+        f"DC operating point of {circuit.title!r} failed to converge "
+        f"after {total_iterations} Newton iterations "
+        "(tried plain Newton, gmin stepping and source stepping)")

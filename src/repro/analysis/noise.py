@@ -1,0 +1,235 @@
+"""Small-signal noise analysis.
+
+Computes the output noise power spectral density of a circuit at a DC
+operating point, per frequency, with per-element contribution breakdown
+and input-referral -- the standard SPICE ``.noise`` analysis.
+
+Method (direct): at each frequency the small-signal system ``Y = G +
+j*omega*C`` is assembled once; every elementary noise source (a current
+PSD between two nodes) is injected as a unit-current right-hand side, the
+stacked system is solved for all sources at once, and the output PSD is
+``sum_k |H_k|^2 * S_k(f)``.  Independent sources are quiet; noise comes
+from:
+
+* resistors -- thermal, ``S_i = 4kT/R``;
+* diodes -- shot, ``S_i = 2qI``;
+* MOSFETs -- channel thermal ``S_i = 4kT * gamma_n * gm`` (long-channel
+  ``gamma_n = 2/3``) plus flicker ``S_i = KF * gm^2 / (Cox W Leff f)``.
+
+Noise is not required by the paper's flow, but an analogue-model library
+without ``.noise`` would not be credible; the example designs use it for
+sanity numbers (e.g. the classic integrated kT/C of an RC filter, which
+the test suite verifies to four digits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .dc import OperatingPoint, dc_operating_point
+from .mna import Assembler
+
+__all__ = ["NoiseResult", "noise_analysis", "BOLTZMANN", "TEMPERATURE"]
+
+BOLTZMANN = 1.380649e-23
+ELEMENTARY_CHARGE = 1.602176634e-19
+#: Analysis temperature [K] (300 K, matching the device model's kT/q).
+TEMPERATURE = 300.0
+
+#: Long-channel MOSFET thermal-noise coefficient.
+_GAMMA_THERMAL = 2.0 / 3.0
+
+
+@dataclass
+class _NoiseSource:
+    """One elementary noise current source between two matrix rows."""
+
+    element: str
+    label: str
+    node_a: int
+    node_b: int
+    psd: object  # callable f -> (B,) array [A^2/Hz]
+
+
+def _collect_sources(circuit, op: OperatingPoint) -> list[_NoiseSource]:
+    """Enumerate the elementary noise sources of every element."""
+    from ..circuit.elements import Diode, Resistor
+    from ..circuit.mosfet import Mosfet
+
+    four_kt = 4.0 * BOLTZMANN * TEMPERATURE
+    sources: list[_NoiseSource] = []
+    for element in circuit:
+        if isinstance(element, Resistor):
+            a, b = element._node_idx
+            resistance = np.asarray(element.resistance, dtype=float)
+            psd_value = four_kt / resistance
+
+            def make_flat(value):
+                return lambda f: np.broadcast_to(value, (op.batch,))
+
+            sources.append(_NoiseSource(element.name, "thermal", a, b,
+                                        make_flat(psd_value)))
+        elif isinstance(element, Diode):
+            a, b = element._node_idx
+            info = element.op_info(op.x)
+            shot = 2.0 * ELEMENTARY_CHARGE * np.abs(info["id"])
+            sources.append(_NoiseSource(
+                element.name, "shot", a, b,
+                (lambda value: lambda f: np.broadcast_to(
+                    value, (op.batch,)))(shot)))
+        elif isinstance(element, Mosfet):
+            d_idx, _, s_idx, _ = element._node_idx
+            vgs, vds, vbs = element._terminal_voltages(op.x)
+            point = element.evaluate(vgs, vds, vbs)
+            gm = np.abs(point.gm)
+            thermal = four_kt * _GAMMA_THERMAL * gm
+            sources.append(_NoiseSource(
+                element.name, "thermal", d_idx, s_idx,
+                (lambda value: lambda f: np.broadcast_to(
+                    value, (op.batch,)))(thermal)))
+
+            model = element.model
+            if model.kf > 0.0:
+                area_cap = model.cox * np.asarray(element.w, float) \
+                    * element.leff
+                flicker_k = model.kf * gm * gm / np.maximum(area_cap, 1e-30)
+
+                def make_flicker(value, af=model.af):
+                    return lambda f: value / np.maximum(f, 1e-3) ** af
+
+                sources.append(_NoiseSource(
+                    element.name, "flicker", d_idx, s_idx,
+                    make_flicker(flicker_k)))
+    return sources
+
+
+@dataclass
+class NoiseResult:
+    """Result of a noise analysis.
+
+    Attributes
+    ----------
+    freqs:
+        Frequency grid ``(F,)``.
+    output_psd:
+        Output noise voltage PSD, shape ``(B, F)`` [V^2/Hz].
+    gain:
+        |transfer| from the designated input source to the output,
+        shape ``(B, F)`` (only when an input was named).
+    contributions:
+        Mapping ``"element:kind"`` -> ``(B, F)`` output-referred PSD.
+    """
+
+    freqs: np.ndarray
+    output_psd: np.ndarray
+    gain: np.ndarray | None
+    contributions: dict[str, np.ndarray]
+
+    @property
+    def input_referred_psd(self) -> np.ndarray:
+        """Input-referred noise PSD ``output_psd / |gain|^2``."""
+        if self.gain is None:
+            raise AnalysisError("no input source was designated")
+        return self.output_psd / np.maximum(self.gain ** 2, 1e-300)
+
+    def integrated_output_rms(self, f_start: float | None = None,
+                              f_stop: float | None = None) -> np.ndarray:
+        """RMS output noise over a band, by trapezoidal integration of the
+        PSD (``sqrt(integral S df)``), shape ``(B,)``."""
+        mask = np.ones(self.freqs.size, dtype=bool)
+        if f_start is not None:
+            mask &= self.freqs >= f_start
+        if f_stop is not None:
+            mask &= self.freqs <= f_stop
+        if mask.sum() < 2:
+            raise AnalysisError("integration band contains <2 sweep points")
+        freqs = self.freqs[mask]
+        psd = self.output_psd[:, mask]
+        return np.sqrt(np.trapezoid(psd, freqs, axis=1))
+
+    def dominant_contributor(self, frequency_index: int = 0) -> str:
+        """Name of the largest contributor at a sweep point (lane 0)."""
+        return max(self.contributions,
+                   key=lambda k: self.contributions[k][0, frequency_index])
+
+
+def noise_analysis(circuit, freqs, *, output_node: str,
+                   input_source: str | None = None,
+                   op: OperatingPoint | None = None) -> NoiseResult:
+    """Run a ``.noise``-style analysis.
+
+    Parameters
+    ----------
+    output_node:
+        Node whose voltage noise PSD is reported.
+    input_source:
+        Optional independent-source name for input referral; its transfer
+        to the output is computed from its AC excitation topology (a unit
+        AC magnitude is assumed).
+
+    Raises
+    ------
+    AnalysisError
+        If the circuit has no noisy elements or the output is ground.
+    """
+    freqs = np.atleast_1d(np.asarray(freqs, dtype=float))
+    if op is None:
+        op = dc_operating_point(circuit)
+    assembler = op.assembler if op.assembler.circuit is circuit \
+        else Assembler(circuit)
+
+    out_index = assembler.topology.index_of(output_node)
+    if out_index < 0:
+        raise AnalysisError("output node must not be ground")
+
+    G, C, _ = assembler.ac_system(op.x)
+    batch, n = op.x.shape
+    sources = _collect_sources(circuit, op)
+    if not sources:
+        raise AnalysisError(f"circuit {circuit.title!r} has no noisy elements")
+
+    # Unit-current injection vector per source (shared across batch).
+    injections = np.zeros((len(sources), n))
+    for idx, source in enumerate(sources):
+        if source.node_a >= 0:
+            injections[idx, source.node_a] += 1.0
+        if source.node_b >= 0:
+            injections[idx, source.node_b] -= 1.0
+
+    gain = None
+    input_rhs = None
+    if input_source is not None:
+        element = circuit.element(input_source)
+        saved = element.ac_mag
+        element.ac_mag = 1.0
+        try:
+            _, _, excitation = assembler.ac_system(op.x)
+        finally:
+            element.ac_mag = saved
+        input_rhs = excitation  # (B, n) complex
+        gain = np.empty((batch, freqs.size))
+
+    output_psd = np.zeros((batch, freqs.size))
+    contributions = {f"{s.element}:{s.label}": np.zeros((batch, freqs.size))
+                     for s in sources}
+
+    for k, frequency in enumerate(freqs):
+        omega = 2.0 * np.pi * frequency
+        Y = G + 1j * omega * C  # (B, n, n)
+        # Solve all unit injections at once: (B, n, S).
+        rhs = np.broadcast_to(injections.T, (batch, n, len(sources)))
+        transfer = np.linalg.solve(Y, rhs)[:, out_index, :]  # (B, S)
+        for idx, source in enumerate(sources):
+            psd_k = np.asarray(source.psd(frequency), dtype=float)
+            term = np.abs(transfer[:, idx]) ** 2 * psd_k
+            output_psd[:, k] += term
+            contributions[f"{source.element}:{source.label}"][:, k] = term
+        if input_rhs is not None:
+            response = np.linalg.solve(Y, input_rhs[..., None])[..., 0]
+            gain[:, k] = np.abs(response[:, out_index])
+
+    return NoiseResult(freqs=freqs, output_psd=output_psd, gain=gain,
+                       contributions=contributions)

@@ -1,0 +1,58 @@
+"""Parameter sweeps built on the batch machinery.
+
+A sweep is just a batched circuit: the swept values become a batch axis
+and the whole sweep is solved in one stacked factorisation.  This module
+provides the small conveniences for the common cases (sweeping a source,
+sweeping element values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dc import NewtonOptions, OperatingPoint, dc_operating_point
+
+__all__ = ["dc_sweep", "with_element_values"]
+
+
+class with_element_values:
+    """Context manager that temporarily overrides element attribute values.
+
+    Overrides are ``{(element_name, attribute): value}`` where values may be
+    batch arrays.  The circuit is re-compiled on entry and exit so the batch
+    length stays consistent.
+
+    >>> with with_element_values(circuit, {("R1", "resistance"): np.r_[1e3, 2e3]}):
+    ...     op = dc_operating_point(circuit)   # batch of 2
+    """
+
+    def __init__(self, circuit, overrides: dict) -> None:
+        self.circuit = circuit
+        self.overrides = dict(overrides)
+        self._saved: dict = {}
+
+    def __enter__(self):
+        for (name, attr), value in self.overrides.items():
+            element = self.circuit.element(name)
+            self._saved[(name, attr)] = getattr(element, attr)
+            setattr(element, attr, value)
+        self.circuit.invalidate()
+        return self.circuit
+
+    def __exit__(self, *exc_info):
+        for (name, attr), value in self._saved.items():
+            setattr(self.circuit.element(name), attr, value)
+        self.circuit.invalidate()
+        return False
+
+
+def dc_sweep(circuit, source_name: str, values, *,
+             options: NewtonOptions | None = None) -> OperatingPoint:
+    """DC transfer sweep: solve the OP for each source value in ``values``.
+
+    Returns a batched :class:`OperatingPoint` whose lane ``k`` corresponds
+    to ``values[k]``.  The source's original value is restored afterwards.
+    """
+    values = np.asarray(values, dtype=float)
+    with with_element_values(circuit, {(source_name, "dc"): values}):
+        return dc_operating_point(circuit, options=options)

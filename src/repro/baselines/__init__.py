@@ -1,0 +1,5 @@
+"""Baseline flows the paper compares against."""
+
+from .direct_mc import DirectMCConfig, DirectMCResult, run_direct_mc_optimization
+
+__all__ = ["DirectMCConfig", "DirectMCResult", "run_direct_mc_optimization"]

@@ -1,0 +1,9 @@
+"""Behavioural (Verilog-A-equivalent) models and code generation."""
+
+from .codegen import generate_verilog_a, write_verilog_a_package
+from .ota import BehavioralOTA, ota_transfer_function
+
+__all__ = [
+    "generate_verilog_a", "write_verilog_a_package",
+    "BehavioralOTA", "ota_transfer_function",
+]

@@ -1,0 +1,15 @@
+"""Circuit representation: netlists, elements, devices, parser."""
+
+from .elements import (CCCS, CCVS, PWL, VCCS, VCVS, Capacitor, CurrentSource,
+                       Diode, Inductor, Pulse, Resistor, Sine, VoltageSource)
+from .mosfet import MOSModel, Mosfet
+from .netlist import Circuit, Element, is_ground
+
+__all__ = [
+    "Circuit", "Element", "is_ground",
+    "Resistor", "Capacitor", "Inductor",
+    "VoltageSource", "CurrentSource",
+    "VCVS", "VCCS", "CCCS", "CCVS",
+    "Diode", "Pulse", "Sine", "PWL",
+    "MOSModel", "Mosfet",
+]

@@ -1,0 +1,132 @@
+"""Command-line interface: ``repro-flow`` / ``python -m repro``.
+
+Subcommands mirror the paper's experiments:
+
+* ``build``   -- run the model-building flow (Figure 3) and save artefacts;
+* ``target``  -- query a saved model with a specification (Table 3);
+* ``filter``  -- run the filter application flow on a saved model
+  (section 5);
+* ``table1``  -- print the design-parameter space (Table 1).
+
+Paper-scale runs take a couple of minutes; pass ``--reduced`` for a
+seconds-scale smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .designs.ota import OTA_DESIGN_SPACE
+from .flow.artifacts import rebuild_model, save_flow_artifacts
+from .flow.filter_flow import FilterFlowConfig, run_filter_flow
+from .flow.pipeline import (FlowConfig, paper_scale_config, reduced_config,
+                            run_model_build_flow)
+from .measure.specs import Spec, SpecSet
+
+__all__ = ["main"]
+
+
+def _cmd_build(args) -> int:
+    config = reduced_config(args.seed) if args.reduced \
+        else paper_scale_config(args.seed)
+    if args.generations:
+        config = FlowConfig(generations=args.generations,
+                            population=config.population,
+                            mc_samples=config.mc_samples,
+                            seed=args.seed,
+                            max_pareto_points=config.max_pareto_points)
+    result = run_model_build_flow(config, progress=print)
+    print()
+    print(result.ledger.table())
+    written = save_flow_artifacts(result, args.output)
+    print(f"\nartefacts written to {args.output}:")
+    for name, path in sorted(written.items()):
+        print(f"  {name}: {path}")
+    return 0
+
+
+def _cmd_target(args) -> int:
+    model = rebuild_model(args.model_dir)
+    specs = SpecSet([
+        Spec("gain_db", "ge", args.gain, "dB"),
+        Spec("pm_deg", "ge", args.pm, "deg"),
+    ])
+    design = model.design_for_specs(specs)
+    print("guard-banded targets (Table 3):")
+    for name, target in design.targets.items():
+        print(f"  {name}: required {target.required:g}, "
+              f"variation {target.variation_pct:.3f}%, "
+              f"new performance {target.new_value:.4f}")
+    print("nominal performance at the selected front point:")
+    for name, value in design.nominal_performance.items():
+        print(f"  {name} = {value:.4f}")
+    print("interpolated design parameters:")
+    for name, value in design.parameters.items():
+        print(f"  {name} = {value * 1e6:.3f} um")
+    return 0
+
+
+def _cmd_filter(args) -> int:
+    model = rebuild_model(args.model_dir)
+    config = FilterFlowConfig(seed=args.seed,
+                              verification_samples=args.samples)
+    result = run_filter_flow(model, config, progress=print)
+    print()
+    print(result.ledger.table())
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    print(f"{'Design Parameter:':<24} Range:")
+    for name, rng in OTA_DESIGN_SPACE.table1_rows():
+        print(f"{name:<24} {rng}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description="Combined yield+performance behavioural modelling "
+                    "(reproduction of Ali et al., DATE 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="run the model-building flow")
+    build.add_argument("--output", default="artifacts",
+                       help="artefact directory (default: ./artifacts)")
+    build.add_argument("--seed", type=int, default=2008)
+    build.add_argument("--reduced", action="store_true",
+                       help="seconds-scale run instead of paper scale")
+    build.add_argument("--generations", type=int, default=0,
+                       help="override generation count")
+    build.set_defaults(func=_cmd_build)
+
+    target = sub.add_parser("target", help="yield-target a specification")
+    target.add_argument("model_dir", help="directory written by 'build'")
+    target.add_argument("--gain", type=float, default=50.0,
+                        help="required gain [dB] (default 50)")
+    target.add_argument("--pm", type=float, default=74.0,
+                        help="required phase margin [deg] (default 74)")
+    target.set_defaults(func=_cmd_target)
+
+    filt = sub.add_parser("filter", help="run the filter application flow")
+    filt.add_argument("model_dir", help="directory written by 'build'")
+    filt.add_argument("--seed", type=int, default=2008)
+    filt.add_argument("--samples", type=int, default=500,
+                      help="verification MC samples (default 500)")
+    filt.set_defaults(func=_cmd_filter)
+
+    table1 = sub.add_parser("table1", help="print the Table-1 design space")
+    table1.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Reference designs: the symmetrical OTA (Fig. 5) and the 2nd-order
+OTA-C low-pass filter (Fig. 9), plus their optimisation problems."""
+
+from .filter2 import (DEFAULT_FILTER_SPEC, FILTER_OBJECTIVES, FilterCaps,
+                      FilterSpec, build_filter_behavioral,
+                      build_filter_transistor, evaluate_filter,
+                      filter_frequency_grid)
+from .miller import (MILLER_DESIGN_SPACE, MillerOTAProblem,
+                     MillerParameters, build_miller_ota,
+                     evaluate_miller_ota)
+from .ota import (OTA_DESIGN_SPACE, OTA_OBJECTIVES, OTADesignSpace,
+                  OTAParameters, add_ota_devices, build_ota,
+                  default_frequency_grid, evaluate_ota)
+from .problems import (BehavioralFilterProblem, OTAProblem,
+                       TransistorFilterProblem)
+
+__all__ = [
+    "DEFAULT_FILTER_SPEC", "FILTER_OBJECTIVES", "FilterCaps", "FilterSpec",
+    "build_filter_behavioral", "build_filter_transistor", "evaluate_filter",
+    "filter_frequency_grid",
+    "OTA_DESIGN_SPACE", "OTA_OBJECTIVES", "OTADesignSpace", "OTAParameters",
+    "add_ota_devices", "build_ota", "default_frequency_grid", "evaluate_ota",
+    "BehavioralFilterProblem", "OTAProblem", "TransistorFilterProblem",
+    "MILLER_DESIGN_SPACE", "MillerOTAProblem", "MillerParameters",
+    "build_miller_ota", "evaluate_miller_ota",
+]

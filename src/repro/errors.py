@@ -1,0 +1,106 @@
+"""Exception taxonomy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking genuine programming
+errors (``TypeError`` and friends propagate unchanged).
+
+The hierarchy mirrors the subsystems described in ``DESIGN.md``:
+
+* :class:`NetlistError` -- malformed circuit descriptions.
+* :class:`ParseError` -- errors in the SPICE-like netlist parser, carrying
+  the offending line number.
+* :class:`AnalysisError` -- simulation failures; the important subclass is
+  :class:`ConvergenceError` raised when the Newton-Raphson DC solver fails
+  even after the homotopy fallbacks.
+* :class:`TableModelError` -- ``$table_model`` emulation errors, notably
+  :class:`ExtrapolationError` for the ``"E"`` (error-on-extrapolation)
+  control string used throughout the paper.
+* :class:`OptimizationError` -- misconfigured optimisation problems.
+* :class:`SpecificationError` -- malformed performance specifications.
+* :class:`YieldModelError` -- failures constructing or querying the combined
+  performance/variation model (the paper's core contribution).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class NetlistError(ReproError):
+    """A circuit description is structurally invalid.
+
+    Examples: duplicate element names, elements referencing undeclared
+    subcircuits, a ground-less circuit handed to the simulator.
+    """
+
+
+class ParseError(NetlistError):
+    """A SPICE-like netlist file could not be parsed.
+
+    Parameters
+    ----------
+    message:
+        Human readable description of the problem.
+    line_no:
+        1-based line number in the source text, when known.
+    line:
+        The offending source line, when known.
+    """
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str | None = None) -> None:
+        self.line_no = line_no
+        self.line = line
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        if line is not None:
+            message = f"{message}\n    {line.strip()!r}"
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """A circuit analysis (DC / AC / transient) failed."""
+
+
+class ConvergenceError(AnalysisError):
+    """The Newton-Raphson solver failed to converge.
+
+    Raised only after every fallback strategy (gmin stepping followed by
+    source stepping) has been exhausted.  Carries the per-batch convergence
+    mask so vectorised callers can salvage the converged lanes.
+    """
+
+    def __init__(self, message: str, converged_mask=None) -> None:
+        self.converged_mask = converged_mask
+        super().__init__(message)
+
+
+class SingularMatrixError(AnalysisError):
+    """The MNA matrix is singular (floating node, loop of sources...)."""
+
+
+class TableModelError(ReproError):
+    """A ``$table_model`` table is malformed or cannot answer a query."""
+
+
+class ExtrapolationError(TableModelError):
+    """A query fell outside the sampled data under the ``"E"`` control.
+
+    The paper deliberately selects the error-on-extrapolation behaviour "in
+    order to avoid approximation of the data beyond the sampled data
+    points" (section 3.5); this exception is that behaviour.
+    """
+
+
+class OptimizationError(ReproError):
+    """An optimisation problem or optimiser is misconfigured."""
+
+
+class SpecificationError(ReproError):
+    """A performance specification is malformed or unsatisfiable."""
+
+
+class YieldModelError(ReproError):
+    """The combined performance/variation model failed to build or query."""

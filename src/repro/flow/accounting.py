@@ -1,0 +1,79 @@
+"""Simulation-cost accounting.
+
+The paper's efficiency claim (Table 5: 4 CPU-hours vs a previously
+reported 7 hours; behavioural reuse amortising the one-time model cost) is
+about *simulator work*.  :class:`SimulationLedger` records, per flow
+stage, how many circuit evaluations were spent and how long they took, so
+every benchmark can report the proposed-vs-conventional cost ratio on the
+same footing as the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["StageRecord", "SimulationLedger"]
+
+
+@dataclass
+class StageRecord:
+    """Cost of one flow stage."""
+
+    name: str
+    simulations: int = 0
+    wall_seconds: float = 0.0
+
+    def add(self, simulations: int, wall_seconds: float) -> None:
+        self.simulations += simulations
+        self.wall_seconds += wall_seconds
+
+
+@dataclass
+class SimulationLedger:
+    """Ordered collection of per-stage cost records."""
+
+    stages: dict[str, StageRecord] = field(default_factory=dict)
+
+    def record(self, stage: str, simulations: int,
+               wall_seconds: float) -> None:
+        """Add cost to a stage (created on first use)."""
+        if stage not in self.stages:
+            self.stages[stage] = StageRecord(stage)
+        self.stages[stage].add(simulations, wall_seconds)
+
+    @contextmanager
+    def timed(self, stage: str, simulations: int = 0):
+        """Context manager measuring the wall time of a stage.
+
+        The simulation count may be passed up front or set afterwards via
+        :meth:`record` with zero time.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(stage, simulations, time.perf_counter() - start)
+
+    @property
+    def total_simulations(self) -> int:
+        return sum(record.simulations for record in self.stages.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.wall_seconds for record in self.stages.values())
+
+    def as_rows(self) -> list[tuple[str, int, float]]:
+        """``(stage, simulations, seconds)`` rows plus a total row."""
+        rows = [(record.name, record.simulations, record.wall_seconds)
+                for record in self.stages.values()]
+        rows.append(("TOTAL", self.total_simulations, self.total_seconds))
+        return rows
+
+    def table(self) -> str:
+        """Aligned text table (the Table-5 style summary)."""
+        lines = [f"{'stage':<32} {'simulations':>12} {'seconds':>10}"]
+        for name, sims, seconds in self.as_rows():
+            lines.append(f"{name:<32} {sims:>12d} {seconds:>10.2f}")
+        return "\n".join(lines)

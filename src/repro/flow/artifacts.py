@@ -1,0 +1,120 @@
+"""Flow artefact persistence.
+
+The paper's flow communicates through data files: the performance model
+and variation model are "stored in a data file" (sections 3.3/3.4) and
+consumed by the Verilog-A ``$table_model`` function.  This module writes
+exactly that artefact set for a finished
+:class:`~repro.flow.pipeline.FlowResult`:
+
+* ``gain_delta.tbl`` / ``pm_delta.tbl`` -- the variation model;
+* ``lp1_data.tbl`` ... ``lp8_data.tbl`` -- the performance model
+  (design parameter vs (gain, pm));
+* ``ota_yield_model.va`` -- the generated Verilog-A module;
+* ``flow_result.npz`` + ``flow_summary.json`` -- full numeric state, so a
+  flow run can be reloaded without re-simulating.
+
+``load_flow_arrays`` restores the numpy payload and rebuilds the combined
+model (the WBGA history itself is not persisted -- it is 10k rows of
+intermediate state; the model is the deliverable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..behavioral.codegen import write_verilog_a_package
+from ..designs.ota import OTA_DESIGN_SPACE
+from ..tablemodel.pareto_table import ParetoTableModel
+from ..yieldmodel.targeting import CombinedYieldModel
+
+__all__ = ["save_flow_artifacts", "load_flow_arrays", "rebuild_model"]
+
+
+def save_flow_artifacts(result, directory) -> dict[str, Path]:
+    """Write the complete artefact set of a model-building flow run.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.flow.pipeline.FlowResult`.
+    directory:
+        Destination directory (created if needed).
+
+    Returns
+    -------
+    Mapping artefact name -> written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    # Verilog-A module + .tbl tables (the paper's deliverable).
+    written = write_verilog_a_package(result.model, directory)
+
+    # Numeric state for lossless reload.
+    arrays = {
+        "pareto_parameters": result.pareto_parameters,
+        "pareto_objectives": result.pareto_objectives,
+        "ro_ohms": result.ro_ohms,
+        "ugf_hz": result.ugf_hz,
+    }
+    for name, data in result.mc_samples.items():
+        arrays[f"mc_{name}"] = data
+    for name, data in result.variation.items():
+        arrays[f"var_{name}"] = data
+    npz_path = directory / "flow_result.npz"
+    np.savez_compressed(npz_path, **arrays)
+    written["arrays"] = npz_path
+
+    summary = {
+        "pdk": result.pdk_name,
+        "config": asdict(result.config),
+        "pareto_points": int(result.pareto_count),
+        "total_pareto_found": int(result.total_pareto_found),
+        "evaluations": int(result.wbga.evaluations),
+        "ledger": [
+            {"stage": stage, "simulations": sims, "seconds": seconds}
+            for stage, sims, seconds in result.ledger.as_rows()
+        ],
+        "objective_names": list(result.model.objective_names),
+        "parameter_names": list(result.model.parameter_names),
+    }
+    json_path = directory / "flow_summary.json"
+    json_path.write_text(json.dumps(summary, indent=2))
+    written["summary"] = json_path
+    return written
+
+
+def load_flow_arrays(directory) -> dict[str, np.ndarray]:
+    """Load the numeric payload written by :func:`save_flow_artifacts`."""
+    directory = Path(directory)
+    with np.load(directory / "flow_result.npz") as data:
+        return {key: data[key].copy() for key in data.files}
+
+
+def rebuild_model(directory) -> CombinedYieldModel:
+    """Reconstruct the :class:`CombinedYieldModel` from saved artefacts.
+
+    Only the numeric payload is needed; the ``.tbl`` files are a
+    human/Verilog-A-readable projection of the same data.
+    """
+    arrays = load_flow_arrays(directory)
+    summary = json.loads((Path(directory) / "flow_summary.json").read_text())
+    parameter_names = tuple(summary["parameter_names"])
+    objective_names = tuple(summary["objective_names"])
+
+    columns: dict[str, np.ndarray] = {}
+    for j, name in enumerate(OTA_DESIGN_SPACE.names):
+        columns[name] = arrays["pareto_parameters"][:, j]
+    for key, data in arrays.items():
+        if key.startswith("var_"):
+            columns[key[len("var_"):]] = data
+    columns["ro_ohms"] = arrays["ro_ohms"]
+    columns["ugf_hz"] = arrays["ugf_hz"]
+
+    table = ParetoTableModel(arrays["pareto_objectives"], objective_names,
+                             columns=columns)
+    return CombinedYieldModel(table, parameter_names)

@@ -1,0 +1,290 @@
+"""The paper's proposed algorithm, end to end (Figure 3).
+
+``run_model_build_flow`` executes the model-building half of the paper:
+
+1. **Netlist / objective generation** -- the OTA problem over the Table-1
+   parameter space (:class:`repro.designs.problems.OTAProblem`).
+2. **Multi-objective optimisation** -- WBGA, 100 generations x 100
+   individuals by default (section 4.2).
+3. **Pareto front extraction** -- non-dominated filtering of all evaluated
+   individuals (section 3.3; the paper finds 1022 points).
+4. **Monte-Carlo variation analysis** -- ``mc_samples`` die realisations
+   on *every* Pareto point (section 3.4; paper: 200).
+5. **Table-model generation** -- performance + variation tables
+   (section 3.5) assembled into a
+   :class:`~repro.yieldmodel.targeting.CombinedYieldModel`.
+
+Costs are tracked in a :class:`~repro.flow.accounting.SimulationLedger`
+so Table 5 and the conventional-flow comparison can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..designs.ota import (OTA_DESIGN_SPACE, OTAParameters, evaluate_ota)
+from ..designs.problems import OTAProblem
+from ..errors import YieldModelError
+from ..mc.engine import MCConfig, monte_carlo_points
+from ..mc.sampler import stream
+from ..moo.ga import GAConfig
+from ..moo.wbga import WBGAResult, run_wbga
+from ..process import C35, ProcessKit
+from ..tablemodel.pareto_table import ParetoTableModel
+from ..yieldmodel.targeting import CombinedYieldModel
+from ..yieldmodel.variation import DEFAULT_K_SIGMA, variation_columns
+from .accounting import SimulationLedger
+
+__all__ = ["FlowConfig", "FlowResult", "run_model_build_flow",
+           "paper_scale_config", "reduced_config"]
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Configuration of the model-building flow.
+
+    Defaults reproduce the paper's run (100x100 WBGA, 200 MC samples per
+    Pareto point, 3-sigma variation).  ``reduced_config()`` gives a
+    seconds-scale variant for tests and default benchmarks.
+    """
+
+    generations: int = 100
+    population: int = 100
+    mc_samples: int = 200
+    k_sigma: float = DEFAULT_K_SIGMA
+    seed: int = 2008
+    cl: float = 10e-12
+    ibias: float = 20e-6
+    mc_chunk_lanes: int = 4000
+    max_pareto_points: int | None = None
+
+    def ga_config(self) -> GAConfig:
+        return GAConfig(population_size=self.population,
+                        generations=self.generations, seed=self.seed)
+
+
+def paper_scale_config(seed: int = 2008) -> FlowConfig:
+    """The full section-4 scale: 10,000 evaluations, 200-sample MC."""
+    return FlowConfig(seed=seed)
+
+
+def reduced_config(seed: int = 2008) -> FlowConfig:
+    """A seconds-scale configuration for tests and quick benchmarks."""
+    return FlowConfig(generations=12, population=24, mc_samples=40,
+                      max_pareto_points=24, seed=seed)
+
+
+@dataclass
+class FlowResult:
+    """Everything the model-building flow produced.
+
+    Attributes
+    ----------
+    pareto_parameters:
+        Natural-unit designable parameters of the front, ``(K, 8)``.
+    pareto_objectives:
+        Nominal (gain_db, pm_deg) of the front, ``(K, 2)``.
+    mc_samples:
+        Per-point Monte-Carlo populations, name -> ``(K, S)``.
+    variation:
+        Variation-model columns, ``"<objective>_delta_pct"`` -> ``(K,)``.
+    model:
+        The combined performance + variation model (the paper's
+        deliverable).
+    ledger:
+        Simulation/time accounting for the Table-5 comparison.
+    """
+
+    config: FlowConfig
+    pdk_name: str
+    wbga: WBGAResult
+    pareto_parameters: np.ndarray
+    pareto_objectives: np.ndarray
+    ro_ohms: np.ndarray
+    ugf_hz: np.ndarray
+    mc_samples: dict[str, np.ndarray]
+    variation: dict[str, np.ndarray]
+    model: CombinedYieldModel
+    ledger: SimulationLedger = field(default_factory=SimulationLedger)
+
+    @property
+    def pareto_count(self) -> int:
+        """Number of Pareto points carried into the model."""
+        return self.pareto_parameters.shape[0]
+
+    @property
+    def total_pareto_found(self) -> int:
+        """Front size before any ``max_pareto_points`` subsampling (the
+        paper's 1022)."""
+        return self.wbga.pareto_count()
+
+    def table2_rows(self, count: int = 10) -> list[dict[str, float]]:
+        """Rows shaped like the paper's Table 2: design index, gain,
+        dGain%, PM, dPM% -- sampled evenly along the front."""
+        k = self.pareto_count
+        indices = np.unique(np.linspace(0, k - 1, min(count, k)).astype(int))
+        rows = []
+        for i in indices:
+            rows.append({
+                "design": int(i),
+                "gain_db": float(self.pareto_objectives[i, 0]),
+                "dgain_pct": float(self.variation["gain_db_delta_pct"][i]),
+                "pm_deg": float(self.pareto_objectives[i, 1]),
+                "dpm_pct": float(self.variation["pm_deg_delta_pct"][i]),
+            })
+        return rows
+
+
+def _subsample_front(order: np.ndarray, limit: int | None) -> np.ndarray:
+    """Evenly subsample a sorted front to at most ``limit`` points."""
+    if limit is None or order.size <= limit:
+        return order
+    picks = np.unique(np.linspace(0, order.size - 1, limit).astype(int))
+    return order[picks]
+
+
+def _collapse_front(objectives: np.ndarray, unit_params: np.ndarray,
+                    rel_tol: float = 1e-3
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse clusters of near-duplicate front points to one each.
+
+    A converged GA revisits essentially the same design many times, so the
+    raw front contains clusters of points whose objectives differ by
+    floating-point dust while their *parameters* may differ arbitrarily
+    (the performance->parameter map is many-to-one).  Interpolating
+    through such clusters is meaningless -- and feeds the cubic-spline
+    tables knots separated by ~1e-3 dB with independent Monte-Carlo noise,
+    which makes them ring.  One representative (the first, i.e. the
+    best-second-objective member) is kept per cluster; the cluster width
+    is ``rel_tol`` of the key-objective span.
+
+    Expects ``objectives`` sorted ascending by objective 0.
+    """
+    keys = objectives[:, 0]
+    span = max(keys[-1] - keys[0], 1e-12)
+    width = rel_tol * span
+    keep = [0]
+    for i in range(1, keys.size):
+        if keys[i] - keys[keep[-1]] > width:
+            keep.append(i)
+    picks = np.asarray(keep)
+    return objectives[picks], unit_params[picks]
+
+
+def run_model_build_flow(config: FlowConfig | None = None, *,
+                         pdk: ProcessKit = C35,
+                         progress=None) -> FlowResult:
+    """Execute the Figure-3 flow and return the combined model.
+
+    Parameters
+    ----------
+    config:
+        Flow settings (paper scale by default).
+    progress:
+        Optional ``callable(str)`` for stage announcements.
+
+    Raises
+    ------
+    YieldModelError
+        If the optimisation produced no usable Pareto front (e.g. a
+        degenerate configuration with too few evaluations).
+    """
+    config = config or FlowConfig()
+    ledger = SimulationLedger()
+    say = progress or (lambda message: None)
+
+    # Stages 1+2: objective setup and WBGA optimisation.
+    say(f"WBGA optimisation: {config.generations} generations x "
+        f"{config.population} individuals")
+    problem = OTAProblem(pdk=pdk, cl=config.cl, ibias=config.ibias)
+    with ledger.timed("multi-objective optimisation"):
+        wbga = run_wbga(problem, config.ga_config(),
+                        rng=stream(config.seed, "wbga"))
+    ledger.record("multi-objective optimisation", wbga.evaluations, 0.0)
+
+    # Stage 3: Pareto front extraction.
+    with ledger.timed("pareto extraction"):
+        mask = wbga.pareto_mask()
+        if np.count_nonzero(mask) < 2:
+            raise YieldModelError(
+                "optimisation yielded fewer than two Pareto points; "
+                "increase generations/population")
+        unit_params = wbga.all_parameters[mask]
+        objectives = wbga.all_objectives[mask]
+        order = np.argsort(objectives[:, 0])
+        objectives, unit_params = _collapse_front(objectives[order],
+                                                  unit_params[order])
+        picks = _subsample_front(np.arange(objectives.shape[0]),
+                                 config.max_pareto_points)
+        objectives = objectives[picks]
+        unit_params = unit_params[picks]
+    say(f"Pareto front: {int(np.count_nonzero(mask))} points found, "
+        f"{unit_params.shape[0]} carried into the model")
+
+    natural_params = OTAParameters.from_normalized(unit_params).to_array()
+    natural_params = np.atleast_2d(natural_params)
+    k_points = natural_params.shape[0]
+
+    # Nominal re-evaluation for the behavioural-stage columns (ro, ugf).
+    with ledger.timed("nominal characterisation", k_points):
+        nominal = evaluate_ota(OTAParameters.from_array(natural_params),
+                               pdk=pdk, cl=config.cl, ibias=config.ibias)
+    gain_lin = 10.0 ** (nominal["gain_db"] / 20.0)
+    gm = 2.0 * np.pi * nominal["ugf_hz"] * config.cl
+    ro_ohms = gain_lin / gm
+
+    # Stage 4: Monte-Carlo variation analysis on every front point.
+    say(f"Monte Carlo: {config.mc_samples} samples x {k_points} points")
+    mc_config = MCConfig(n_samples=config.mc_samples,
+                         seed=config.seed,
+                         chunk_lanes=config.mc_chunk_lanes)
+
+    def mc_evaluator(point_indices, repeats, die_sample):
+        tiled = OTAParameters.from_array(
+            np.repeat(natural_params[point_indices], repeats, axis=0))
+        performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
+                                   cl=config.cl, ibias=config.ibias)
+        return {"gain_db": performance["gain_db"],
+                "pm_deg": performance["pm_deg"]}
+
+    with ledger.timed("monte-carlo variation analysis",
+                      k_points * config.mc_samples):
+        mc_samples = monte_carlo_points(
+            mc_evaluator, k_points, pdk, mc_config,
+            progress=(lambda done, total:
+                      say(f"  MC {done}/{total} points")) if progress else None)
+
+    # Stage 5: table-model generation -> the combined model.
+    with ledger.timed("table model generation"):
+        # Smooth the per-point variation estimates along the front: the
+        # MC estimator noise (~1/sqrt(2S) relative) is independent per
+        # point while the physical variation is smooth (see
+        # smooth_along_front).  Window ~ 5% of the front length.
+        window = max(3, k_points // 20)
+        variation = variation_columns(mc_samples, k_sigma=config.k_sigma,
+                                      smooth_window=window)
+        columns: dict[str, np.ndarray] = dict(variation)
+        for j, name in enumerate(OTA_DESIGN_SPACE.names):
+            columns[name] = natural_params[:, j]
+        columns["ro_ohms"] = ro_ohms
+        columns["ugf_hz"] = nominal["ugf_hz"]
+        table = ParetoTableModel(objectives, ("gain_db", "pm_deg"),
+                                 columns=columns)
+        model = CombinedYieldModel(table, OTA_DESIGN_SPACE.names)
+    say("combined performance + variation model ready")
+
+    return FlowResult(
+        config=config,
+        pdk_name=pdk.name,
+        wbga=wbga,
+        pareto_parameters=natural_params,
+        pareto_objectives=objectives,
+        ro_ohms=ro_ohms,
+        ugf_hz=nominal["ugf_hz"],
+        mc_samples=mc_samples,
+        variation=variation,
+        model=model,
+        ledger=ledger,
+    )

@@ -1,0 +1,11 @@
+"""Monte-Carlo machinery: seeded streams, engines, statistics."""
+
+from .engine import MCConfig, monte_carlo, monte_carlo_points
+from .sampler import child_streams, latin_hypercube_normal, stream
+from .statistics import PopulationSummary, cpk, relative_spread_pct, summarize
+
+__all__ = [
+    "MCConfig", "monte_carlo", "monte_carlo_points",
+    "child_streams", "latin_hypercube_normal", "stream",
+    "PopulationSummary", "cpk", "relative_spread_pct", "summarize",
+]

@@ -1,0 +1,126 @@
+"""Random-stream management and sampling plans for Monte Carlo.
+
+Every stochastic stage of the flow draws from an explicit, hierarchically
+derived random stream so that
+
+* the whole pipeline is bit-reproducible from one root seed, and
+* stages are *independently* reproducible: re-running only the Monte-Carlo
+  stage produces identical samples regardless of how many random numbers
+  the optimiser consumed.
+
+Streams are derived with :class:`numpy.random.SeedSequence` spawning keyed
+by stage name.  A Latin-hypercube normal sampler is provided as a
+variance-reduction option for global-parameter sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stream", "child_streams", "latin_hypercube_normal"]
+
+
+def _key_to_int(key: str) -> int:
+    """Map a stage-name string to a stable 32-bit integer."""
+    # FNV-1a; stable across Python runs (unlike the builtin hash()).
+    value = 2166136261
+    for byte in key.encode("utf-8"):
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+def stream(seed: int, key: str = "") -> np.random.Generator:
+    """A named random stream derived from ``seed``.
+
+    >>> a = stream(1, "mc")
+    >>> b = stream(1, "mc")
+    >>> float(a.random()) == float(b.random())
+    True
+    >>> c = stream(1, "optimizer")
+    >>> float(stream(1, "mc").random()) != float(c.random())
+    True
+    """
+    if key:
+        sequence = np.random.SeedSequence([seed, _key_to_int(key)])
+    else:
+        sequence = np.random.SeedSequence(seed)
+    return np.random.default_rng(sequence)
+
+
+def child_streams(seed: int, key: str, count: int) -> list[np.random.Generator]:
+    """``count`` mutually independent streams for parallel/chunked stages.
+
+    Chunked Monte Carlo uses one child per chunk so the sample population
+    is identical whatever the chunk size.
+    """
+    sequence = np.random.SeedSequence([seed, _key_to_int(key)])
+    return [np.random.default_rng(s) for s in sequence.spawn(count)]
+
+
+def latin_hypercube_normal(rng: np.random.Generator, n: int,
+                           dims: int) -> np.ndarray:
+    """Latin-hypercube-stratified standard normal samples, shape ``(n, dims)``.
+
+    Each dimension's n samples occupy distinct probability strata, which
+    cuts the variance of mean/sigma estimates relative to plain sampling
+    -- useful when estimating variation percentages from the paper's
+    modest 200 samples per Pareto point.
+    """
+    if n < 1 or dims < 1:
+        raise ValueError("n and dims must be positive")
+    # Stratified uniforms: one sample per stratum, shuffled per dimension.
+    strata = (np.arange(n)[:, None] + rng.random((n, dims))) / n
+    for j in range(dims):
+        rng.shuffle(strata[:, j])
+    # Map to normal via the probit function (vectorised rational approx +
+    # one Newton polish against the exact normal CDF).
+    return _probit(strata)
+
+
+def _probit(p: np.ndarray) -> np.ndarray:
+    """Inverse standard-normal CDF (Acklam's approximation + Newton)."""
+    p = np.clip(p, 1e-12, 1 - 1e-12)
+    # Acklam coefficients.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00]
+
+    p_low = 0.02425
+    x = np.empty_like(p)
+
+    lower = p < p_low
+    upper = p > 1 - p_low
+    middle = ~(lower | upper)
+
+    if np.any(lower):
+        q = np.sqrt(-2.0 * np.log(p[lower]))
+        x[lower] = ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                     * q + c[5])
+                    / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0))
+    if np.any(upper):
+        q = np.sqrt(-2.0 * np.log(1.0 - p[upper]))
+        x[upper] = -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                      * q + c[5])
+                     / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0))
+    if np.any(middle):
+        q = p[middle] - 0.5
+        r = q * q
+        x[middle] = ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+                      * r + a[5]) * q
+                     / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                         + b[4]) * r + 1.0))
+
+    # One Newton step against the exact CDF for ~1e-12 accuracy.
+    from math import erf
+    erf_vec = np.vectorize(erf)
+    cdf = 0.5 * (1.0 + erf_vec(x / np.sqrt(2.0)))
+    pdf = np.exp(-0.5 * x * x) / np.sqrt(2.0 * np.pi)
+    return x - (cdf - p) / np.maximum(pdf, 1e-300)

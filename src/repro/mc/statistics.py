@@ -1,0 +1,88 @@
+"""Monte-Carlo population statistics.
+
+Summary reductions used by the variation model and the experiment
+reports: robust descriptive statistics, sigma-based spread measures and
+process-capability indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PopulationSummary", "summarize", "relative_spread_pct", "cpk"]
+
+
+@dataclass(frozen=True)
+class PopulationSummary:
+    """Descriptive statistics of one performance population."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    q01: float
+    q99: float
+
+    def describe(self, unit: str = "") -> str:
+        return (f"n={self.n} mean={self.mean:.6g}{unit} "
+                f"std={self.std:.3g}{unit} "
+                f"range=[{self.minimum:.6g}, {self.maximum:.6g}]{unit}")
+
+
+def summarize(samples) -> PopulationSummary:
+    """Descriptive statistics of a 1-D sample array."""
+    samples = np.asarray(samples, dtype=float).reshape(-1)
+    if samples.size < 2:
+        raise ValueError("need at least two samples")
+    if np.any(np.isnan(samples)):
+        raise ValueError("samples contain NaN; repair failed lanes first")
+    return PopulationSummary(
+        n=samples.size,
+        mean=float(np.mean(samples)),
+        std=float(np.std(samples, ddof=1)),
+        minimum=float(np.min(samples)),
+        maximum=float(np.max(samples)),
+        median=float(np.median(samples)),
+        q01=float(np.quantile(samples, 0.01)),
+        q99=float(np.quantile(samples, 0.99)),
+    )
+
+
+def relative_spread_pct(samples, k_sigma: float = 3.0, axis: int = -1):
+    """``k_sigma * std / |mean| * 100`` along ``axis`` (vectorised).
+
+    The same definition as
+    :func:`repro.yieldmodel.variation.variation_percent`, provided here for
+    ad-hoc analysis of raw MC arrays.
+    """
+    samples = np.asarray(samples, dtype=float)
+    mean = np.mean(samples, axis=axis)
+    std = np.std(samples, axis=axis, ddof=1)
+    return k_sigma * std / np.abs(mean) * 100.0
+
+
+def cpk(samples, *, lower: float | None = None,
+        upper: float | None = None) -> float:
+    """Process capability index against one- or two-sided limits.
+
+    ``Cpk = min((USL - mean), (mean - LSL)) / (3*std)``; one-sided specs
+    use only their side.  Cpk >= 1 corresponds to a 3-sigma guard band --
+    the paper's implicit yield criterion.
+    """
+    if lower is None and upper is None:
+        raise ValueError("need at least one specification limit")
+    samples = np.asarray(samples, dtype=float).reshape(-1)
+    mean = float(np.mean(samples))
+    std = float(np.std(samples, ddof=1))
+    if std == 0.0:
+        return float("inf")
+    candidates = []
+    if upper is not None:
+        candidates.append((upper - mean) / (3.0 * std))
+    if lower is not None:
+        candidates.append((mean - lower) / (3.0 * std))
+    return min(candidates)

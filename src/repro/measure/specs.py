@@ -1,0 +1,137 @@
+"""Performance specifications and spec sets.
+
+A :class:`Spec` is one inequality on a named performance ("gain >= 50 dB",
+"phase margin >= 74 deg", "passband ripple <= 1 dB").  A :class:`SpecSet`
+bundles several and evaluates pass/fail masks over batched performance
+dictionaries -- the building block of every yield computation in
+:mod:`repro.yieldmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecificationError
+
+__all__ = ["Spec", "SpecSet"]
+
+_KINDS = ("ge", "le")
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One performance inequality.
+
+    Attributes
+    ----------
+    name:
+        Performance key this spec constrains (e.g. ``"gain_db"``).
+    kind:
+        ``"ge"`` (performance must be >= limit) or ``"le"``.
+    limit:
+        The specification limit.
+    unit:
+        Unit string for reports.
+    label:
+        Human-readable name for reports (defaults to ``name``).
+    """
+
+    name: str
+    kind: str
+    limit: float
+    unit: str = ""
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SpecificationError(
+                f"spec {self.name!r}: kind must be one of {_KINDS}")
+        if not np.isfinite(self.limit):
+            raise SpecificationError(f"spec {self.name!r}: limit must be finite")
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.name
+
+    def margin(self, values) -> np.ndarray:
+        """Signed margin to the limit (positive = passing).
+
+        ``nan`` performance values produce ``-inf`` margins: a measurement
+        that does not exist cannot satisfy a spec.
+        """
+        values = np.asarray(values, dtype=float)
+        margin = (values - self.limit) if self.kind == "ge" else (self.limit - values)
+        return np.where(np.isnan(values), -np.inf, margin)
+
+    def satisfied(self, values) -> np.ndarray:
+        """Boolean pass mask."""
+        return self.margin(values) >= 0.0
+
+    def describe(self) -> str:
+        symbol = ">=" if self.kind == "ge" else "<="
+        return f"{self.display_name} {symbol} {self.limit:g} {self.unit}".rstrip()
+
+    def tightened(self, new_limit: float) -> "Spec":
+        """A copy with a different limit (used by yield guard-banding)."""
+        return Spec(self.name, self.kind, float(new_limit), self.unit, self.label)
+
+
+class SpecSet:
+    """An ordered collection of :class:`Spec` objects."""
+
+    def __init__(self, specs) -> None:
+        self.specs: tuple[Spec, ...] = tuple(specs)
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate spec names in {names}")
+        if not self.specs:
+            raise SpecificationError("a SpecSet needs at least one spec")
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __getitem__(self, name: str) -> Spec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise SpecificationError(f"no spec named {name!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs)
+
+    def pass_mask(self, performance: dict[str, np.ndarray]) -> np.ndarray:
+        """Elementwise all-specs-pass mask over batched performance data.
+
+        Raises
+        ------
+        SpecificationError
+            If a spec's performance key is missing from ``performance``.
+        """
+        mask: np.ndarray | None = None
+        for spec in self.specs:
+            if spec.name not in performance:
+                raise SpecificationError(
+                    f"performance dict lacks {spec.name!r} "
+                    f"(has {sorted(performance)})")
+            ok = spec.satisfied(performance[spec.name])
+            mask = ok if mask is None else (mask & ok)
+        return np.atleast_1d(mask)
+
+    def yield_fraction(self, performance: dict[str, np.ndarray]) -> float:
+        """Fraction of batch lanes passing every spec."""
+        mask = self.pass_mask(performance)
+        return float(np.count_nonzero(mask)) / mask.size
+
+    def worst_margins(self, performance: dict[str, np.ndarray]) -> dict[str, float]:
+        """Per-spec worst (minimum) margin across the batch."""
+        return {spec.name: float(np.min(spec.margin(performance[spec.name])))
+                for spec in self.specs}
+
+    def describe(self) -> str:
+        return "; ".join(spec.describe() for spec in self.specs)

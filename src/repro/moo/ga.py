@@ -1,0 +1,146 @@
+"""Genetic-algorithm building blocks.
+
+Real-coded GA operators over normalised ``[0, 1]`` chromosomes, shared by
+the paper's WBGA (:mod:`repro.moo.wbga`) and the NSGA-II reference
+implementation (:mod:`repro.moo.nsga2`):
+
+* binary tournament selection,
+* uniform and blend (BLX-alpha) crossover,
+* simulated binary crossover (SBX) and polynomial mutation (Deb's
+  operators, used by NSGA-II),
+* Gaussian mutation with reflection at the bounds.
+
+All operators are vectorised over the whole mating pool and driven by an
+explicit :class:`numpy.random.Generator` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+__all__ = ["GAConfig", "tournament_select", "uniform_crossover",
+           "blend_crossover", "sbx_crossover", "gaussian_mutation",
+           "polynomial_mutation", "reflect_into_bounds"]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Shared GA settings (defaults follow the paper's section 4.2 run:
+    100 individuals for 100 generations)."""
+
+    population_size: int = 100
+    generations: int = 100
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.1       # per-gene probability
+    mutation_sigma: float = 0.08     # Gaussian mutation width (unit space)
+    tournament_size: int = 2
+    elite_count: int = 2
+    seed: int = 2008                 # DATE 2008 -- the reproduction default
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise OptimizationError("population_size must be >= 2")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise OptimizationError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise OptimizationError("mutation_rate must be in [0, 1]")
+        if self.elite_count >= self.population_size:
+            raise OptimizationError("elite_count must be < population_size")
+
+
+def tournament_select(fitness: np.ndarray, count: int, size: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Select ``count`` parent indices by ``size``-way tournaments.
+
+    ``fitness`` is maximised; NaN fitness always loses.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    fitness = np.where(np.isnan(fitness), -np.inf, fitness)
+    entrants = rng.integers(0, fitness.size, size=(count, size))
+    winner_pos = np.argmax(fitness[entrants], axis=1)
+    return entrants[np.arange(count), winner_pos]
+
+
+def reflect_into_bounds(genes: np.ndarray) -> np.ndarray:
+    """Reflect out-of-range unit genes back into ``[0, 1]``.
+
+    Reflection (rather than clipping) avoids probability mass piling up on
+    the bounds during long mutation-heavy runs.
+    """
+    reflected = np.mod(genes, 2.0)
+    return np.where(reflected > 1.0, 2.0 - reflected, reflected)
+
+
+def uniform_crossover(parents_a: np.ndarray, parents_b: np.ndarray,
+                      rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Uniform crossover: each gene copied from either parent with p=0.5.
+
+    Pairs skip crossover entirely with probability ``1 - rate`` (child =
+    parent A).
+    """
+    take_b = rng.random(parents_a.shape) < 0.5
+    children = np.where(take_b, parents_b, parents_a)
+    skip = rng.random(parents_a.shape[0]) >= rate
+    children[skip] = parents_a[skip]
+    return children
+
+
+def blend_crossover(parents_a: np.ndarray, parents_b: np.ndarray,
+                    rate: float, rng: np.random.Generator,
+                    alpha: float = 0.35) -> np.ndarray:
+    """BLX-alpha crossover: children drawn uniformly from the per-gene
+    interval stretched by ``alpha`` beyond both parents."""
+    low = np.minimum(parents_a, parents_b)
+    high = np.maximum(parents_a, parents_b)
+    span = high - low
+    samples = rng.random(parents_a.shape)
+    children = low - alpha * span + samples * (1.0 + 2.0 * alpha) * span
+    skip = rng.random(parents_a.shape[0]) >= rate
+    children[skip] = parents_a[skip]
+    return reflect_into_bounds(children)
+
+
+def sbx_crossover(parents_a: np.ndarray, parents_b: np.ndarray,
+                  rate: float, rng: np.random.Generator,
+                  eta: float = 15.0) -> tuple[np.ndarray, np.ndarray]:
+    """Simulated binary crossover (Deb & Agrawal) on unit genes.
+
+    Returns two children per pair.
+    """
+    u = rng.random(parents_a.shape)
+    beta = np.where(u <= 0.5,
+                    (2.0 * u) ** (1.0 / (eta + 1.0)),
+                    (1.0 / (2.0 * (1.0 - u))) ** (1.0 / (eta + 1.0)))
+    mean = 0.5 * (parents_a + parents_b)
+    diff = 0.5 * np.abs(parents_b - parents_a)
+    child_a = mean - beta * diff
+    child_b = mean + beta * diff
+    skip = rng.random(parents_a.shape[0]) >= rate
+    child_a[skip] = parents_a[skip]
+    child_b[skip] = parents_b[skip]
+    return (np.clip(child_a, 0.0, 1.0), np.clip(child_b, 0.0, 1.0))
+
+
+def gaussian_mutation(genes: np.ndarray, rate: float, sigma: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Per-gene Gaussian mutation with reflection at the unit bounds."""
+    mutate = rng.random(genes.shape) < rate
+    noise = rng.normal(0.0, sigma, genes.shape)
+    return reflect_into_bounds(genes + mutate * noise)
+
+
+def polynomial_mutation(genes: np.ndarray, rate: float,
+                        rng: np.random.Generator,
+                        eta: float = 20.0) -> np.ndarray:
+    """Deb's polynomial mutation on unit genes."""
+    u = rng.random(genes.shape)
+    mutate = rng.random(genes.shape) < rate
+    delta = np.where(
+        u < 0.5,
+        (2.0 * u) ** (1.0 / (eta + 1.0)) - 1.0,
+        1.0 - (2.0 * (1.0 - u)) ** (1.0 / (eta + 1.0)))
+    return np.clip(genes + mutate * delta, 0.0, 1.0)

@@ -1,0 +1,11 @@
+"""Process design kits: model cards, corners, statistical variation."""
+
+from .c35 import C35, make_c35
+from .mismatch import MismatchModel
+from .pdk import CornerDef, GlobalVariation, ProcessKit, ProcessSample
+
+__all__ = [
+    "C35", "make_c35",
+    "MismatchModel",
+    "CornerDef", "GlobalVariation", "ProcessKit", "ProcessSample",
+]

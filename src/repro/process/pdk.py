@@ -1,0 +1,207 @@
+"""Process design kit (PDK) abstraction.
+
+A :class:`ProcessKit` bundles everything the flow needs from a foundry:
+
+* nominal MOSFET model cards (one per polarity),
+* process **corners** (deterministic worst-case shifts, e.g. WP/WS),
+* the **global** (inter-die) statistical model -- threshold and
+  current-factor spreads shared by every device of a polarity on a die,
+* the **local mismatch** model (Pelgrom law) -- per-device random
+  deviations that shrink with gate area.
+
+The paper runs its Monte Carlo with "foundry process variation and
+mismatch models" on an AMS 0.35 um process (C35B4); our equivalent kit is
+:data:`repro.process.c35.C35`.
+
+Sampled variation is delivered as a :class:`ProcessSample`: a batch of
+``n`` die realisations.  Circuit builders ask it for per-device
+``(delta_vto, beta_scale)`` arrays; those plug straight into the
+:class:`~repro.circuit.mosfet.Mosfet` statistical hooks, giving one batched
+circuit that carries the entire Monte-Carlo population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit.mosfet import MOSModel
+from ..errors import ReproError
+from .mismatch import MismatchModel
+
+__all__ = ["CornerDef", "GlobalVariation", "ProcessSample", "ProcessKit"]
+
+
+@dataclass(frozen=True)
+class CornerDef:
+    """A deterministic process corner.
+
+    Shifts are expressed in the NMOS-frame convention of
+    :class:`~repro.circuit.mosfet.Mosfet`: positive ``dvto`` increases
+    ``|VT|`` (slower device); ``kp_scale`` multiplies the current factor.
+    """
+
+    name: str
+    description: str
+    dvto_n: float
+    kp_scale_n: float
+    dvto_p: float
+    kp_scale_p: float
+    cap_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class GlobalVariation:
+    """Inter-die (global) statistical model.
+
+    Attributes
+    ----------
+    sigma_vto_n, sigma_vto_p:
+        1-sigma threshold spread [V] (NMOS-frame sign convention).
+    sigma_kp_n, sigma_kp_p:
+        1-sigma *relative* current-factor spread.
+    sigma_cap:
+        1-sigma *relative* capacitance spread (poly/MIM capacitor process
+        variation).  Capacitors on one die track, so this is a single
+        per-die scale factor; it moves pole frequencies (and hence phase
+        margin and filter corners) without touching DC gain.
+    """
+
+    sigma_vto_n: float = 0.020
+    sigma_kp_n: float = 0.03
+    sigma_vto_p: float = 0.025
+    sigma_kp_p: float = 0.03
+    sigma_cap: float = 0.04
+
+
+class ProcessSample:
+    """A batch of sampled die realisations.
+
+    Parameters
+    ----------
+    size:
+        Number of Monte-Carlo samples ``B``.
+    dvto_n, kp_scale_n, dvto_p, kp_scale_p:
+        Global per-die parameter arrays, shape ``(B,)``.
+    mismatch:
+        The local mismatch model, or ``None`` to disable mismatch.
+    rng:
+        Generator used for the per-device mismatch draws.  Each call to
+        :meth:`device_variation` consumes fresh randoms, so circuit
+        builders must instantiate devices in a deterministic order for
+        bit-reproducibility (all builders in :mod:`repro.designs` do).
+    """
+
+    def __init__(self, size: int, *, dvto_n, kp_scale_n, dvto_p, kp_scale_p,
+                 cap_scale=1.0,
+                 mismatch: MismatchModel | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.size = int(size)
+        self.dvto_n = np.broadcast_to(np.asarray(dvto_n, float), (size,))
+        self.kp_scale_n = np.broadcast_to(np.asarray(kp_scale_n, float), (size,))
+        self.dvto_p = np.broadcast_to(np.asarray(dvto_p, float), (size,))
+        self.kp_scale_p = np.broadcast_to(np.asarray(kp_scale_p, float), (size,))
+        self.cap_scale = np.broadcast_to(np.asarray(cap_scale, float), (size,))
+        self.mismatch = mismatch
+        self.rng = rng
+        if mismatch is not None and rng is None:
+            raise ReproError("mismatch sampling requires an rng")
+
+    @classmethod
+    def nominal(cls, size: int = 1) -> "ProcessSample":
+        """A no-variation sample (typical-mean die)."""
+        zeros = np.zeros(size)
+        ones = np.ones(size)
+        return cls(size, dvto_n=zeros, kp_scale_n=ones,
+                   dvto_p=zeros, kp_scale_p=ones)
+
+    def device_variation(self, model: MOSModel, w, l
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-device ``(delta_vto, beta_scale)`` arrays of shape ``(B,)``.
+
+        Combines the die-level global shift (shared by all devices of the
+        polarity) with a fresh Pelgrom mismatch draw for this device's gate
+        area.
+        """
+        if model.polarity == "n":
+            dvto = self.dvto_n.copy()
+            beta_scale = self.kp_scale_n.copy()
+        else:
+            dvto = self.dvto_p.copy()
+            beta_scale = self.kp_scale_p.copy()
+        if self.mismatch is not None:
+            leff = np.asarray(l, float) - 2.0 * model.ld
+            area = np.asarray(w, float) * leff
+            dvt_local, dbeta_local = self.mismatch.draw(
+                model.polarity, area, self.size, self.rng)
+            dvto = dvto + dvt_local
+            beta_scale = beta_scale * (1.0 + dbeta_local)
+        return dvto, beta_scale
+
+
+@dataclass
+class ProcessKit:
+    """A complete process description (see module docstring)."""
+
+    name: str
+    nmos: MOSModel
+    pmos: MOSModel
+    supply: float = 3.3
+    global_variation: GlobalVariation = field(default_factory=GlobalVariation)
+    mismatch: MismatchModel = field(default_factory=MismatchModel)
+    corners: dict[str, CornerDef] = field(default_factory=dict)
+
+    def model(self, polarity: str) -> MOSModel:
+        """Nominal model card for ``polarity`` (``'n'`` or ``'p'``)."""
+        if polarity == "n":
+            return self.nmos
+        if polarity == "p":
+            return self.pmos
+        raise ReproError(f"unknown polarity {polarity!r}")
+
+    @property
+    def models(self) -> dict[str, MOSModel]:
+        """Model cards keyed by SPICE model name (for the parser)."""
+        return {self.nmos.name: self.nmos, self.pmos.name: self.pmos}
+
+    def corner_sample(self, corner: str) -> ProcessSample:
+        """The deterministic :class:`ProcessSample` of a named corner."""
+        try:
+            c = self.corners[corner.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self.corners))
+            raise ReproError(
+                f"unknown corner {corner!r} (known: {known})") from None
+        return ProcessSample(
+            1, dvto_n=c.dvto_n, kp_scale_n=c.kp_scale_n,
+            dvto_p=c.dvto_p, kp_scale_p=c.kp_scale_p,
+            cap_scale=c.cap_scale)
+
+    def sample(self, size: int, rng: np.random.Generator, *,
+               include_global: bool = True,
+               include_mismatch: bool = True) -> ProcessSample:
+        """Draw ``size`` Monte-Carlo die realisations.
+
+        Global parameters are normal; current factors are applied as
+        ``1 + N(0, sigma)`` (clipped at -4 sigma to stay positive).
+        """
+        gv = self.global_variation
+        if include_global:
+            dvto_n = rng.normal(0.0, gv.sigma_vto_n, size)
+            kp_n = 1.0 + np.clip(rng.normal(0.0, gv.sigma_kp_n, size),
+                                 -4.0 * gv.sigma_kp_n, None)
+            dvto_p = rng.normal(0.0, gv.sigma_vto_p, size)
+            kp_p = 1.0 + np.clip(rng.normal(0.0, gv.sigma_kp_p, size),
+                                 -4.0 * gv.sigma_kp_p, None)
+            cap = 1.0 + np.clip(rng.normal(0.0, gv.sigma_cap, size),
+                                -4.0 * gv.sigma_cap, None)
+        else:
+            dvto_n = dvto_p = np.zeros(size)
+            kp_n = kp_p = np.ones(size)
+            cap = np.ones(size)
+        return ProcessSample(
+            size, dvto_n=dvto_n, kp_scale_n=kp_n,
+            dvto_p=dvto_p, kp_scale_p=kp_p, cap_scale=cap,
+            mismatch=self.mismatch if include_mismatch else None,
+            rng=rng if include_mismatch else None)

@@ -1,0 +1,15 @@
+"""Verilog-A ``$table_model`` emulation: splines, .tbl files, tables."""
+
+from .datafile import read_table, write_table
+from .pareto_table import ParetoTableModel
+from .spline import (LinearInterpolator, NaturalCubicSpline, QuadraticSpline,
+                     make_interpolator)
+from .table import ControlSpec, TableModel, parse_control_string
+
+__all__ = [
+    "read_table", "write_table",
+    "ParetoTableModel",
+    "LinearInterpolator", "NaturalCubicSpline", "QuadraticSpline",
+    "make_interpolator",
+    "ControlSpec", "TableModel", "parse_control_string",
+]

@@ -1,0 +1,115 @@
+""".tbl data files -- the interchange format of the paper's flow.
+
+Each step of the paper's algorithm persists its results as plain-text
+table files that the Verilog-A ``$table_model()`` function later consumes
+(``gain_delta.tbl``, ``lp1_data.tbl``, ...).  The format is the standard
+Verilog-A one: whitespace-separated columns, one sample per line, the last
+column being the model output and the preceding columns its coordinates;
+``#`` and ``*`` start comments.
+
+:func:`write_table` / :func:`read_table` round-trip that format with full
+double precision (``%.17g``), so a table written by the Python flow feeds
+both our :class:`~repro.tablemodel.table.TableModel` emulation and a real
+Verilog-A simulator unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TableModelError
+
+__all__ = ["read_table", "write_table"]
+
+_COMMENT_PREFIXES = ("#", "*", "//")
+
+
+def read_table(source) -> tuple[np.ndarray, np.ndarray]:
+    """Read a ``.tbl`` file.
+
+    Parameters
+    ----------
+    source:
+        Path, file object, or the text itself (anything with newlines).
+
+    Returns
+    -------
+    ``(coordinates, values)`` where coordinates has shape ``(N, D)`` and
+    values ``(N,)``.
+
+    Raises
+    ------
+    TableModelError
+        On ragged rows, non-numeric fields or an empty table.
+    """
+    if isinstance(source, io.IOBase):
+        text = source.read()
+    elif isinstance(source, (str, Path)) and "\n" not in str(source):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+
+    rows: list[list[float]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or any(line.startswith(p) for p in _COMMENT_PREFIXES):
+            continue
+        try:
+            row = [float(token) for token in line.split()]
+        except ValueError as exc:
+            raise TableModelError(
+                f"line {line_no}: non-numeric field in {line!r}") from exc
+        if len(row) < 2:
+            raise TableModelError(
+                f"line {line_no}: need at least one coordinate and a value")
+        if rows and len(row) != len(rows[0]):
+            raise TableModelError(
+                f"line {line_no}: expected {len(rows[0])} columns, "
+                f"got {len(row)}")
+        rows.append(row)
+    if not rows:
+        raise TableModelError("table file contains no data rows")
+
+    data = np.asarray(rows, dtype=float)
+    return data[:, :-1], data[:, -1]
+
+
+def write_table(path, coordinates, values, *, header: str = "") -> Path:
+    """Write a ``.tbl`` file.
+
+    Parameters
+    ----------
+    path:
+        Destination file path (parent directories are created).
+    coordinates:
+        Shape ``(N,)`` or ``(N, D)`` input coordinates.
+    values:
+        Shape ``(N,)`` model outputs.
+    header:
+        Optional comment block written at the top (``#``-prefixed).
+
+    Returns
+    -------
+    The resolved :class:`~pathlib.Path` written.
+    """
+    coordinates = np.asarray(coordinates, dtype=float)
+    if coordinates.ndim == 1:
+        coordinates = coordinates[:, None]
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if coordinates.shape[0] != values.size:
+        raise TableModelError(
+            f"coordinate rows ({coordinates.shape[0]}) != "
+            f"value count ({values.size})")
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for line in header.splitlines():
+            handle.write(f"# {line}\n")
+        for row, value in zip(coordinates, values):
+            fields = [f"{c:.17g}" for c in row] + [f"{value:.17g}"]
+            handle.write(" ".join(fields) + "\n")
+    return path

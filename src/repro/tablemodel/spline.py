@@ -1,0 +1,246 @@
+"""Interpolation kernels: linear, quadratic and natural cubic splines.
+
+Verilog-A's ``$table_model`` offers three interpolation degrees per
+dimension (control-string digits ``1``, ``2``, ``3``); the paper uses
+degree 3 ("cubic spline interpolation has been employed in this work to
+maximise accuracy", section 2.2).  These kernels are written from scratch
+(tridiagonal Thomas solve for the cubic) so the library has no behavioural
+dependence on scipy's spline internals, and they evaluate vectorised over
+query arrays.
+
+Each kernel interpolates ``y`` over strictly increasing knots ``x`` and
+supports three out-of-range policies matching the ``$table_model``
+extrapolation letters:
+
+* ``"E"`` -- raise :class:`~repro.errors.ExtrapolationError` (the paper's
+  choice: "no extrapolation method is used, in order to avoid
+  approximation of the data beyond the sampled data points");
+* ``"C"`` -- clamp to the boundary value;
+* ``"L"`` -- extend linearly with the boundary slope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExtrapolationError, TableModelError
+
+__all__ = ["Interpolator1D", "LinearInterpolator", "QuadraticSpline",
+           "NaturalCubicSpline", "make_interpolator", "EXTRAPOLATION_MODES"]
+
+EXTRAPOLATION_MODES = ("E", "C", "L")
+
+#: Relative slack applied to the range check before "E" raises, so queries
+#: that are at a boundary up to floating-point noise still succeed.
+_RANGE_RTOL = 1e-9
+
+
+class Interpolator1D:
+    """Base class: knot validation, range handling, extrapolation policy."""
+
+    def __init__(self, x, y) -> None:
+        x = np.asarray(x, dtype=float).reshape(-1)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if x.size != y.size:
+            raise TableModelError(
+                f"x and y must have equal length ({x.size} vs {y.size})")
+        if x.size < 2:
+            raise TableModelError("need at least two data points")
+        if not np.all(np.diff(x) > 0):
+            raise TableModelError("knots must be strictly increasing")
+        if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+            raise TableModelError("knots and values must be finite")
+        self.x = x
+        self.y = y
+
+    # -- subclass hooks -------------------------------------------------------
+    def _evaluate_inside(self, q: np.ndarray) -> np.ndarray:
+        """Evaluate at in-range query points (subclass responsibility)."""
+        raise NotImplementedError
+
+    def _boundary_slope(self, left: bool) -> float:
+        """Slope at the boundary for 'L' extrapolation (subclass)."""
+        raise NotImplementedError
+
+    # -- public API --------------------------------------------------------------
+    def __call__(self, query, extrapolation: str = "E") -> np.ndarray:
+        """Evaluate the interpolant at ``query`` (scalar or array).
+
+        Raises
+        ------
+        ExtrapolationError
+            Under policy ``"E"`` when any query is out of range.
+        """
+        if extrapolation not in EXTRAPOLATION_MODES:
+            raise TableModelError(
+                f"unknown extrapolation mode {extrapolation!r} "
+                f"(expected one of {EXTRAPOLATION_MODES})")
+        q = np.asarray(query, dtype=float)
+        scalar = q.ndim == 0
+        q = np.atleast_1d(q)
+
+        lo, hi = self.x[0], self.x[-1]
+        slack = _RANGE_RTOL * max(abs(lo), abs(hi), 1.0)
+        below = q < lo - slack
+        above = q > hi + slack
+        if extrapolation == "E" and (np.any(below) or np.any(above)):
+            bad = q[below | above]
+            raise ExtrapolationError(
+                f"query value(s) {bad[:5]} outside the sampled range "
+                f"[{lo:g}, {hi:g}] and extrapolation is disabled ('E')")
+
+        clamped = np.clip(q, lo, hi)
+        result = self._evaluate_inside(clamped)
+
+        if extrapolation == "L":
+            slope_lo = self._boundary_slope(left=True)
+            slope_hi = self._boundary_slope(left=False)
+            result = np.where(below, self.y[0] + slope_lo * (q - lo), result)
+            result = np.where(above, self.y[-1] + slope_hi * (q - hi), result)
+        # 'C' (clamp) is already what evaluating at the clipped query gives.
+
+        return result[0] if scalar else result
+
+    def _segments(self, q: np.ndarray) -> np.ndarray:
+        """Index of the knot interval containing each query point."""
+        return np.clip(np.searchsorted(self.x, q, side="right") - 1,
+                       0, self.x.size - 2)
+
+
+class LinearInterpolator(Interpolator1D):
+    """Degree-1 piecewise-linear interpolation (control digit ``1``)."""
+
+    def _evaluate_inside(self, q: np.ndarray) -> np.ndarray:
+        return np.interp(q, self.x, self.y)
+
+    def _boundary_slope(self, left: bool) -> float:
+        if left:
+            return (self.y[1] - self.y[0]) / (self.x[1] - self.x[0])
+        return (self.y[-1] - self.y[-2]) / (self.x[-1] - self.x[-2])
+
+
+class QuadraticSpline(Interpolator1D):
+    """Degree-2 spline (control digit ``2``).
+
+    Piecewise quadratics with continuous value and first derivative,
+    built by the forward sweep ``z[i+1] = 2*slope[i] - z[i]``.  The free
+    condition is the three-point derivative estimate at the first knot,
+    which makes the spline exact for globally quadratic data.
+    """
+
+    def __init__(self, x, y) -> None:
+        super().__init__(x, y)
+        n = self.x.size
+        h = np.diff(self.x)
+        slope = np.diff(self.y) / h
+        z = np.empty(n)
+        if n > 2:
+            # f'(x0) for a parabola through the first three points.
+            z[0] = slope[0] - h[0] * (slope[1] - slope[0]) / (self.x[2]
+                                                              - self.x[0])
+        else:
+            z[0] = slope[0]
+        for i in range(n - 1):
+            z[i + 1] = 2.0 * slope[i] - z[i]
+        self._z = z
+        self._h = h
+        self._slope = slope
+
+    def _evaluate_inside(self, q: np.ndarray) -> np.ndarray:
+        k = self._segments(q)
+        t = q - self.x[k]
+        z0 = self._z[k]
+        z1 = self._z[k + 1]
+        # y = y_k + z_k t + (z_{k+1} - z_k) t^2 / (2 h_k)
+        return self.y[k] + z0 * t + (z1 - z0) * t * t / (2.0 * self._h[k])
+
+    def _boundary_slope(self, left: bool) -> float:
+        return float(self._z[0] if left else self._z[-1])
+
+
+class NaturalCubicSpline(Interpolator1D):
+    """Degree-3 natural cubic spline (control digit ``3``; the paper's
+    "3E" tables).
+
+    C2-continuous piecewise cubics with zero second derivative at both
+    ends.  The tridiagonal moment system is solved with the Thomas
+    algorithm.
+    """
+
+    def __init__(self, x, y) -> None:
+        super().__init__(x, y)
+        n = self.x.size
+        h = np.diff(self.x)
+        self._h = h
+        # Second-derivative (moment) vector m, natural end conditions.
+        m = np.zeros(n)
+        if n > 2:
+            # Tridiagonal system for interior moments.
+            lower = h[:-1].copy()                 # sub-diagonal
+            diag = 2.0 * (h[:-1] + h[1:])
+            upper = h[1:].copy()                  # super-diagonal
+            rhs = 6.0 * (np.diff(self.y[1:]) / h[1:]
+                         - np.diff(self.y[:-1]) / h[:-1])
+            # Thomas forward sweep.
+            size = diag.size
+            for i in range(1, size):
+                factor = lower[i - 1] / diag[i - 1]
+                diag[i] -= factor * upper[i - 1]
+                rhs[i] -= factor * rhs[i - 1]
+            interior = np.empty(size)
+            interior[-1] = rhs[-1] / diag[-1]
+            for i in range(size - 2, -1, -1):
+                interior[i] = (rhs[i] - upper[i] * interior[i + 1]) / diag[i]
+            m[1:-1] = interior
+        self._m = m
+
+    def _evaluate_inside(self, q: np.ndarray) -> np.ndarray:
+        k = self._segments(q)
+        h = self._h[k]
+        t = q - self.x[k]
+        m0 = self._m[k]
+        m1 = self._m[k + 1]
+        y0 = self.y[k]
+        y1 = self.y[k + 1]
+        # Standard moment form of the cubic segment.
+        a = (m1 - m0) / (6.0 * h)
+        b = m0 / 2.0
+        c = (y1 - y0) / h - h * (2.0 * m0 + m1) / 6.0
+        return y0 + t * (c + t * (b + t * a))
+
+    def derivative(self, query) -> np.ndarray:
+        """First derivative of the spline at in-range query points."""
+        q = np.atleast_1d(np.asarray(query, dtype=float))
+        q = np.clip(q, self.x[0], self.x[-1])
+        k = self._segments(q)
+        h = self._h[k]
+        t = q - self.x[k]
+        m0 = self._m[k]
+        m1 = self._m[k + 1]
+        c = (self.y[k + 1] - self.y[k]) / h - h * (2.0 * m0 + m1) / 6.0
+        return c + t * m0 + t * t * (m1 - m0) / (2.0 * h)
+
+    def _boundary_slope(self, left: bool) -> float:
+        if left:
+            return float(self.derivative(self.x[0]))
+        return float(self.derivative(self.x[-1]))
+
+
+_KERNELS = {"1": LinearInterpolator, "2": QuadraticSpline,
+            "3": NaturalCubicSpline}
+
+
+def make_interpolator(degree: str, x, y) -> Interpolator1D:
+    """Construct the kernel for a control-string degree digit.
+
+    >>> spline = make_interpolator("3", [0, 1, 2], [0, 1, 4])
+    >>> float(round(spline(1.5), 3))
+    2.375
+    """
+    try:
+        kernel = _KERNELS[str(degree)]
+    except KeyError:
+        raise TableModelError(
+            f"unknown interpolation degree {degree!r} (expected 1, 2 or 3)"
+        ) from None
+    return kernel(x, y)

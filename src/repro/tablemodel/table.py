@@ -1,0 +1,219 @@
+"""``$table_model`` emulation.
+
+The paper's behavioural model is driven by Verilog-A look-up tables::
+
+    gain_delta = $table_model(gain, "gain_delta.tbl", "3E");
+    lp1 = $table_model(gain_prop, pm_prop, "lp1_data.tbl", "3E,3E");
+
+:class:`TableModel` reproduces those semantics in Python:
+
+* data comes from a ``.tbl`` file (:mod:`repro.tablemodel.datafile`) or
+  in-memory arrays;
+* the control string selects, per input dimension, the interpolation
+  degree (``1`` linear, ``2`` quadratic, ``3`` cubic spline) and the
+  extrapolation policy (``C`` clamp, ``L`` linear, ``E`` error -- the
+  paper's choice);
+* one-dimensional tables interpolate directly; multi-dimensional tables
+  must form a full regular grid and are evaluated by tensor-product
+  interpolation (interpolate the innermost axis first, then outward).
+
+Scattered multi-dimensional data -- such as points along a Pareto front --
+is *not* a grid; use :class:`repro.tablemodel.pareto_table.ParetoTableModel`
+for that case (it exploits the front's monotone structure, which is how
+the paper's 2-input tables are actually laid out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TableModelError
+from .datafile import read_table
+from .spline import EXTRAPOLATION_MODES, make_interpolator
+
+__all__ = ["ControlSpec", "parse_control_string", "TableModel"]
+
+
+class ControlSpec:
+    """Parsed per-dimension control: interpolation degree + extrapolation."""
+
+    def __init__(self, degree: str, extrapolation: str) -> None:
+        if degree not in ("1", "2", "3"):
+            raise TableModelError(f"control degree must be 1/2/3, got {degree!r}")
+        if extrapolation not in EXTRAPOLATION_MODES:
+            raise TableModelError(
+                f"extrapolation must be one of {EXTRAPOLATION_MODES}, "
+                f"got {extrapolation!r}")
+        self.degree = degree
+        self.extrapolation = extrapolation
+
+    def __repr__(self) -> str:
+        return f"{self.degree}{self.extrapolation}"
+
+
+def parse_control_string(control: str, dimensions: int) -> list[ControlSpec]:
+    """Parse a ``$table_model`` control string like ``"3E"`` or ``"3E,3E"``.
+
+    A single spec is broadcast across all dimensions; otherwise one
+    comma-separated spec per dimension is required.  An omitted
+    extrapolation letter defaults to ``E`` (no extrapolation), matching
+    the paper's conservative usage.
+    """
+    parts = [p.strip() for p in control.split(",") if p.strip()]
+    if not parts:
+        raise TableModelError("empty control string")
+    if len(parts) == 1 and dimensions > 1:
+        parts = parts * dimensions
+    if len(parts) != dimensions:
+        raise TableModelError(
+            f"control string {control!r} has {len(parts)} specs for "
+            f"{dimensions} input dimensions")
+    specs = []
+    for part in parts:
+        if len(part) == 1:
+            specs.append(ControlSpec(part, "E"))
+        elif len(part) == 2:
+            specs.append(ControlSpec(part[0], part[1].upper()))
+        else:
+            raise TableModelError(f"malformed control spec {part!r}")
+    return specs
+
+
+class TableModel:
+    """A Verilog-A style look-up table model (see module docstring).
+
+    >>> tm = TableModel.from_data([0.0, 1.0, 2.0], [0.0, 1.0, 4.0], "3E")
+    >>> float(round(tm(1.5), 3))
+    2.375
+    """
+
+    def __init__(self, coordinates: np.ndarray, values: np.ndarray,
+                 control: str = "3E") -> None:
+        coordinates = np.asarray(coordinates, dtype=float)
+        if coordinates.ndim == 1:
+            coordinates = coordinates[:, None]
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if coordinates.shape[0] != values.size:
+            raise TableModelError("coordinate/value count mismatch")
+        self.dimensions = coordinates.shape[1]
+        self.controls = parse_control_string(control, self.dimensions)
+        self.control_string = control
+
+        if self.dimensions == 1:
+            order = np.argsort(coordinates[:, 0])
+            x = coordinates[order, 0]
+            y = values[order]
+            x, y = _dedupe_knots(x, y)
+            self._axes = [x]
+            self._grid = y
+        else:
+            self._axes, self._grid = _build_grid(coordinates, values)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_file(cls, path, control: str = "3E") -> "TableModel":
+        """Load a ``.tbl`` file (the paper's ``$table_model`` file read)."""
+        coordinates, values = read_table(path)
+        return cls(coordinates, values, control)
+
+    @classmethod
+    def from_data(cls, coordinates, values, control: str = "3E") -> "TableModel":
+        """Build directly from arrays."""
+        return cls(np.asarray(coordinates, dtype=float),
+                   np.asarray(values, dtype=float), control)
+
+    # -- evaluation --------------------------------------------------------------
+    def __call__(self, *queries):
+        """Evaluate the table at query coordinates (one arg per dimension).
+
+        Scalars broadcast against arrays; the result matches the broadcast
+        shape (scalar in, scalar out).
+        """
+        if len(queries) != self.dimensions:
+            raise TableModelError(
+                f"table has {self.dimensions} inputs, got {len(queries)}")
+        broadcast = np.broadcast_arrays(
+            *[np.asarray(q, dtype=float) for q in queries])
+        scalar = broadcast[0].ndim == 0
+        points = np.stack([np.atleast_1d(b).ravel() for b in broadcast],
+                          axis=-1)  # (Q, D)
+        flat = np.array([self._evaluate_point(p) for p in points])
+        if scalar:
+            return float(flat[0])
+        return flat.reshape(np.atleast_1d(broadcast[0]).shape)
+
+    def _evaluate_point(self, point: np.ndarray) -> float:
+        """Tensor-product interpolation of a single query point."""
+        return float(self._reduce(self._grid, 0, point))
+
+    def _reduce(self, grid: np.ndarray, axis: int, point: np.ndarray):
+        """Recursively interpolate ``grid`` along its first axis at
+        ``point[axis]``, innermost axes first."""
+        x = self._axes[axis]
+        spec = self.controls[axis]
+        if grid.ndim == 1:
+            kernel = make_interpolator(spec.degree, x, grid)
+            return kernel(point[axis], spec.extrapolation)
+        # Reduce each sub-slice first, then interpolate along this axis.
+        reduced = np.array([self._reduce(grid[i], axis + 1, point)
+                            for i in range(grid.shape[0])])
+        kernel = make_interpolator(spec.degree, x, reduced)
+        return kernel(point[axis], spec.extrapolation)
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        """Per-dimension ``(min, max)`` of the sampled coordinates."""
+        return [(float(axis[0]), float(axis[-1])) for axis in self._axes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "x".join(str(len(a)) for a in self._axes)
+        return f"<TableModel {shape} control={self.control_string!r}>"
+
+
+def _dedupe_knots(x: np.ndarray, y: np.ndarray,
+                  rtol: float = 1e-12) -> tuple[np.ndarray, np.ndarray]:
+    """Merge (average) samples whose coordinates coincide within ``rtol``."""
+    if x.size == 0:
+        return x, y
+    scale = max(abs(x[0]), abs(x[-1]), 1.0)
+    keep_x = [x[0]]
+    groups = [[y[0]]]
+    for xi, yi in zip(x[1:], y[1:]):
+        if xi - keep_x[-1] <= rtol * scale:
+            groups[-1].append(yi)
+        else:
+            keep_x.append(xi)
+            groups.append([yi])
+    return (np.asarray(keep_x),
+            np.asarray([float(np.mean(g)) for g in groups]))
+
+
+def _build_grid(coordinates: np.ndarray,
+                values: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+    """Validate that scattered rows form a full regular grid and reshape.
+
+    Raises
+    ------
+    TableModelError
+        If the points do not cover a complete Cartesian grid (with a hint
+        pointing at :class:`ParetoTableModel` for front-shaped data).
+    """
+    n, d = coordinates.shape
+    axes = [np.unique(coordinates[:, j]) for j in range(d)]
+    expected = int(np.prod([a.size for a in axes]))
+    if expected != n:
+        raise TableModelError(
+            f"{n} samples do not form a full {d}-D grid "
+            f"(a complete grid over the observed axis values needs "
+            f"{expected}); for Pareto-front data use ParetoTableModel")
+    # Map each row into the grid.
+    grid = np.full([a.size for a in axes], np.nan)
+    indices = tuple(
+        np.searchsorted(axes[j], coordinates[:, j]) for j in range(d))
+    grid[indices] = values
+    if np.any(np.isnan(grid)):
+        raise TableModelError(
+            "duplicate grid points leave holes in the table "
+            "(some cells were never assigned)")
+    return axes, grid

@@ -1,0 +1,13 @@
+"""The paper's combined performance + variation yield model."""
+
+from .estimator import YieldEstimate, estimate_yield, wilson_interval
+from .targeting import CombinedYieldModel, GuardBandedTarget, YieldTargetedDesign
+from .variation import (DEFAULT_K_SIGMA, smooth_along_front,
+                        variation_columns, variation_percent)
+
+__all__ = [
+    "YieldEstimate", "estimate_yield", "wilson_interval",
+    "CombinedYieldModel", "GuardBandedTarget", "YieldTargetedDesign",
+    "DEFAULT_K_SIGMA", "smooth_along_front", "variation_columns",
+    "variation_percent",
+]

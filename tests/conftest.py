@@ -1,0 +1,21 @@
+"""Shared fixtures: a session-scoped reduced flow run.
+
+The model-building flow takes ~1 s at reduced scale; integration tests
+and the filter-flow tests share one run instead of rebuilding it.
+"""
+
+import pytest
+
+from repro.flow import reduced_config, run_model_build_flow
+
+
+@pytest.fixture(scope="session")
+def reduced_flow():
+    """A completed reduced-scale model-building flow (shared, read-only)."""
+    return run_model_build_flow(reduced_config())
+
+
+@pytest.fixture(scope="session")
+def combined_model(reduced_flow):
+    """The combined yield model from the shared reduced flow."""
+    return reduced_flow.model

@@ -1,0 +1,161 @@
+"""AC analysis tests: known transfer functions, batching, linearity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ac_analysis, dc_operating_point, log_frequencies
+from repro.circuit import (Capacitor, Circuit, CurrentSource, Inductor,
+                           Mosfet, Resistor, VoltageSource)
+from repro.process import C35
+
+
+def rc_lowpass(r=1e3, c=1e-9):
+    circuit = Circuit("rc")
+    circuit.add(VoltageSource("V1", "in", "0", 0.0, ac_mag=1.0))
+    circuit.add(Resistor("R1", "in", "out", r))
+    circuit.add(Capacitor("C1", "out", "0", c))
+    return circuit
+
+
+class TestFrequencyGrid:
+    def test_log_frequencies_endpoints(self):
+        freqs = log_frequencies(10.0, 1e6, 10)
+        assert freqs[0] == pytest.approx(10.0)
+        assert freqs[-1] == pytest.approx(1e6)
+
+    def test_points_per_decade(self):
+        freqs = log_frequencies(1.0, 1e3, 10)
+        assert freqs.size == 31
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            log_frequencies(0.0, 1e3)
+        with pytest.raises(ValueError):
+            log_frequencies(1e3, 1e3)
+
+
+class TestRCLowpass:
+    def test_matches_analytic_everywhere(self):
+        r, c = 1e3, 1e-9
+        circuit = rc_lowpass(r, c)
+        freqs = log_frequencies(1e2, 1e8, 15)
+        res = ac_analysis(circuit, freqs)
+        measured = res.v("out")[0]
+        analytic = 1.0 / (1.0 + 2j * np.pi * freqs * r * c)
+        np.testing.assert_allclose(measured, analytic, rtol=1e-9)
+
+    def test_phase_at_corner(self):
+        r, c = 1e3, 1e-9
+        f0 = 1.0 / (2 * np.pi * r * c)
+        res = ac_analysis(rc_lowpass(r, c), [f0])
+        assert res.phase_deg("out")[0, 0] == pytest.approx(-45.0, abs=0.01)
+
+    def test_magnitude_db(self):
+        res = ac_analysis(rc_lowpass(), [1.0])
+        assert res.magnitude_db("out")[0, 0] == pytest.approx(0.0, abs=1e-5)
+
+
+class TestSecondOrder:
+    def test_rlc_bandpass_peak(self):
+        circuit = Circuit("rlc")
+        circuit.add(CurrentSource("I1", "0", "n", 0.0, ac_mag=1.0))
+        circuit.add(Resistor("R1", "n", "0", 1e3))
+        circuit.add(Inductor("L1", "n", "0", 1e-6))
+        circuit.add(Capacitor("C1", "n", "0", 1e-9))
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        freqs = np.array([f0 / 10, f0, f0 * 10])
+        res = ac_analysis(circuit, freqs)
+        mags = np.abs(res.v("n")[0])
+        # At resonance, L || C is open: |Z| = R.
+        assert mags[1] == pytest.approx(1e3, rel=1e-6)
+        assert mags[0] < mags[1] and mags[2] < mags[1]
+
+
+class TestTransferAccessors:
+    def test_transfer_ratio(self):
+        circuit = rc_lowpass()
+        circuit.add(Resistor("Rsrc", "in", "0", 1e6))  # extra load on in
+        res = ac_analysis(circuit, [1e3])
+        h = res.transfer("out", "in")
+        assert np.abs(h[0, 0]) <= 1.0
+
+    def test_ground_node_zero(self):
+        res = ac_analysis(rc_lowpass(), [1e3])
+        assert np.all(res.v("0") == 0)
+
+    def test_unwrapped_phase_monotone_for_lowpass(self):
+        res = ac_analysis(rc_lowpass(), log_frequencies(10, 1e8, 10))
+        phase = res.phase_deg("out")[0]
+        assert np.all(np.diff(phase) <= 1e-9)
+        assert phase[-1] > -95.0  # single pole: never beyond -90
+
+
+class TestLinearity:
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(min_value=0.1, max_value=100.0))
+    def test_response_scales_with_excitation(self, scale):
+        base = ac_analysis(rc_lowpass(), [1e5]).v("out")[0, 0]
+        circuit = rc_lowpass()
+        circuit.element("V1").ac_mag = scale
+        scaled = ac_analysis(circuit, [1e5]).v("out")[0, 0]
+        assert scaled == pytest.approx(scale * base, rel=1e-9)
+
+    def test_superposition(self):
+        def build(ac1, ac2):
+            c = Circuit("sum")
+            c.add(VoltageSource("V1", "a", "0", 0.0, ac_mag=ac1))
+            c.add(CurrentSource("I1", "0", "out", 0.0, ac_mag=ac2))
+            c.add(Resistor("R1", "a", "out", 1e3))
+            c.add(Resistor("R2", "out", "0", 1e3))
+            return ac_analysis(c, [1e4]).v("out")[0, 0]
+
+        both = build(1.0, 1e-3)
+        only_v = build(1.0, 0.0)
+        only_i = build(0.0, 1e-3)
+        assert both == pytest.approx(only_v + only_i, rel=1e-12)
+
+
+class TestWithTransistors:
+    def test_cs_amplifier_gain_matches_small_signal(self):
+        c = Circuit("cs")
+        c.add(VoltageSource("VDD", "vdd", "0", 3.3))
+        c.add(VoltageSource("VG", "g", "0", 0.9, ac_mag=1.0))
+        c.add(Resistor("RD", "vdd", "d", 1e4))
+        c.add(Mosfet("M1", "d", "g", "0", "0", C35.nmos, 10e-6, 1e-6))
+        op = dc_operating_point(c)
+        info = op.device("M1")
+        expected = float(info["gm"][0]) / (1e-4 + float(info["gds"][0]))
+        res = ac_analysis(c, [1e3], op=op)
+        assert np.abs(res.v("d")[0, 0]) == pytest.approx(expected, rel=1e-3)
+
+    def test_op_reuse_gives_same_answer(self):
+        c = Circuit("cs")
+        c.add(VoltageSource("VDD", "vdd", "0", 3.3))
+        c.add(VoltageSource("VG", "g", "0", 0.9, ac_mag=1.0))
+        c.add(Resistor("RD", "vdd", "d", 1e4))
+        c.add(Mosfet("M1", "d", "g", "0", "0", C35.nmos, 10e-6, 1e-6))
+        op = dc_operating_point(c)
+        a = ac_analysis(c, [1e6], op=op).v("d")
+        b = ac_analysis(c, [1e6]).v("d")
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+class TestBatchedAC:
+    def test_batch_matches_scalars(self):
+        caps = np.array([1e-9, 2e-9, 5e-9])
+        circuit = rc_lowpass(c=caps)
+        freqs = log_frequencies(1e3, 1e7, 5)
+        batched = ac_analysis(circuit, freqs)
+        for lane, c in enumerate(caps):
+            single = ac_analysis(rc_lowpass(c=float(c)), freqs)
+            np.testing.assert_allclose(batched.v("out")[lane],
+                                       single.v("out")[0], rtol=1e-12)
+
+    def test_result_shapes(self):
+        circuit = rc_lowpass(c=np.array([1e-9, 2e-9]))
+        freqs = log_frequencies(1e3, 1e6, 4)
+        res = ac_analysis(circuit, freqs)
+        assert res.batch == 2
+        assert res.v("out").shape == (2, freqs.size)

@@ -1,0 +1,86 @@
+"""Baseline (conventional flow) and CLI tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DirectMCConfig, run_direct_mc_optimization
+from repro.cli import main
+from repro.measure import Spec, SpecSet
+
+
+class TestDirectMCBaseline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        specs = SpecSet([Spec("gain_db", "ge", 45.0, "dB"),
+                         Spec("pm_deg", "ge", 70.0, "deg")])
+        config = DirectMCConfig(population=8, generations=3,
+                                mc_samples_per_candidate=10, seed=1)
+        return run_direct_mc_optimization(specs, config)
+
+    def test_simulation_count(self, result):
+        # Per generation: pop nominal + pop*mc MC; plus 500 verification.
+        expected = 3 * (8 + 8 * 10) + 500
+        assert result.transistor_simulations == expected
+
+    def test_best_design_in_bounds(self, result):
+        for name, value in result.best_parameters.items():
+            if name.startswith("w"):
+                assert 10e-6 <= value <= 60e-6
+            else:
+                assert 0.35e-6 <= value <= 4e-6
+
+    def test_yield_estimate_present(self, result):
+        assert 0.0 <= result.best_yield.fraction <= 1.0
+        assert result.best_yield.total == 500
+
+    def test_much_more_expensive_than_proposed_per_use(self, result,
+                                                       reduced_flow):
+        """The structural claim of Table 5: once the model exists, a
+        yield-targeted design costs zero transistor simulations, while
+        the conventional flow pays per use."""
+        assert result.transistor_simulations > 0
+        # Proposed flow: design_for_specs is pure interpolation.
+        specs = SpecSet([Spec("gain_db", "ge",
+                              float(np.mean(
+                                  reduced_flow.pareto_objectives[:, 0])),
+                              "dB")])
+        design = reduced_flow.model.design_for_specs(specs)
+        assert design.parameters  # obtained without any simulation
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "W1 (M5,M4)" in out
+        assert "Gain weight" in out
+
+    def test_build_target_filter_roundtrip(self, tmp_path, capsys):
+        assert main(["build", "--reduced", "--seed", "2008",
+                     "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "artefacts written" in out
+        assert (tmp_path / "ota_yield_model.va").exists()
+
+        # Target a spec that the reduced front can satisfy.
+        import json
+        import numpy as np
+        arrays = np.load(tmp_path / "flow_result.npz")
+        gains = arrays["pareto_objectives"][:, 0]
+        spec_gain = float(np.percentile(gains, 50))
+        assert main(["target", str(tmp_path), "--gain", f"{spec_gain:.2f}",
+                     "--pm", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "guard-banded targets" in out
+        assert "um" in out
+
+    def test_filter_command(self, tmp_path, capsys):
+        assert main(["build", "--reduced", "--output", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["filter", str(tmp_path), "--samples", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "yield" in out.lower()
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,150 @@
+"""Behavioural OTA macromodel and Verilog-A code generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, dc_operating_point, log_frequencies
+from repro.behavioral import (BehavioralOTA, generate_verilog_a,
+                              ota_transfer_function, write_verilog_a_package)
+from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
+from repro.errors import NetlistError
+from repro.measure import dc_gain_db, f3db
+from repro.units import from_db20
+
+
+def ota_testbench(gain=316.0, ro=1e6, cl=10e-12, pole=None):
+    c = Circuit("bota")
+    c.add(VoltageSource("VIN", "in", "0", 0.0, ac_mag=1.0))
+    c.add(BehavioralOTA("A1", "out", "in", "0", gain=gain, ro=ro,
+                        parasitic_pole_hz=pole))
+    c.add(Capacitor("CL", "out", "0", cl))
+    return c
+
+
+class TestBehavioralOTA:
+    def test_open_circuit_gain(self):
+        c = ota_testbench(gain=100.0)
+        res = ac_analysis(c, [1.0])
+        assert np.abs(res.v("out")[0, 0]) == pytest.approx(100.0, rel=1e-6)
+
+    def test_resistive_divider_with_ro(self):
+        c = Circuit("t")
+        c.add(VoltageSource("VIN", "in", "0", 1.0))
+        c.add(BehavioralOTA("A1", "out", "in", "0", gain=10.0, ro=1e3))
+        c.add(Resistor("RL", "out", "0", 1e3))
+        op = dc_operating_point(c)
+        assert op.v("out")[0] == pytest.approx(5.0)  # 10 * RL/(RL+ro)
+
+    def test_dominant_pole_location(self):
+        ro, cl = 1e6, 10e-12
+        c = ota_testbench(gain=316.0, ro=ro, cl=cl)
+        freqs = log_frequencies(10, 1e9, 15)
+        res = ac_analysis(c, freqs)
+        mag = res.magnitude_db("out")
+        measured = f3db(freqs, mag)[0]
+        assert measured == pytest.approx(1 / (2 * np.pi * ro * cl), rel=0.05)
+
+    def test_differential_inputs(self):
+        c = Circuit("t")
+        c.add(VoltageSource("VP", "p", "0", 1.0))
+        c.add(VoltageSource("VN", "n", "0", 0.75))
+        c.add(BehavioralOTA("A1", "out", "p", "n", gain=10.0, ro=1.0))
+        c.add(Resistor("RL", "out", "0", 1e9))
+        op = dc_operating_point(c)
+        assert op.v("out")[0] == pytest.approx(2.5, rel=1e-6)
+
+    def test_parasitic_pole_adds_rolloff(self):
+        without = ac_analysis(ota_testbench(), [50e6])
+        with_pole = ac_analysis(ota_testbench(pole=10e6), [50e6])
+        assert (np.abs(with_pole.v("out")[0, 0])
+                < np.abs(without.v("out")[0, 0]) / 2)
+
+    def test_batched_parameters(self):
+        gains = np.array([100.0, 316.0])
+        c = ota_testbench(gain=gains)
+        res = ac_analysis(c, [1.0])
+        np.testing.assert_allclose(np.abs(res.v("out")[:, 0]), gains,
+                                   rtol=1e-6)
+
+    def test_from_table_db_conversion(self):
+        ota = BehavioralOTA.from_table("A1", "o", "p", "n",
+                                       gain_db=50.0, ro=1e6)
+        assert float(np.asarray(ota.gain)) == pytest.approx(from_db20(50.0))
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            BehavioralOTA("A1", "o", "p", "n", gain=10.0, ro=-1.0)
+        with pytest.raises(NetlistError):
+            BehavioralOTA("A1", "o", "p", "n", gain=10.0, ro=1.0,
+                          parasitic_pole_hz=0.0)
+
+    def test_gm_property(self):
+        ota = BehavioralOTA("A1", "o", "p", "n", gain=316.0, ro=1e6)
+        assert float(ota.gm) == pytest.approx(316e-6)
+
+
+class TestTransferFunction:
+    def test_matches_circuit_simulation(self):
+        gain_db_value, ro, cl = 50.0, 1.2e6, 10e-12
+        freqs = log_frequencies(10, 1e8, 10)
+        closed_form = ota_transfer_function(freqs, gain_db=gain_db_value,
+                                            ro=ro, cl=cl)
+        circuit = ota_testbench(gain=from_db20(gain_db_value), ro=ro, cl=cl)
+        simulated = ac_analysis(circuit, freqs).v("out")[0]
+        np.testing.assert_allclose(np.abs(closed_form), np.abs(simulated),
+                                   rtol=1e-6)
+
+    def test_batched_output_shape(self):
+        freqs = np.array([1e3, 1e6])
+        h = ota_transfer_function(freqs, gain_db=np.array([40.0, 50.0]),
+                                  ro=np.array([1e6, 1e6]),
+                                  cl=np.array([1e-11, 1e-11]))
+        assert h.shape == (2, 2)
+
+    def test_second_pole(self):
+        freqs = np.array([1e8])
+        one_pole = ota_transfer_function(freqs, gain_db=50.0, ro=1e6,
+                                         cl=1e-11)
+        two_pole = ota_transfer_function(freqs, gain_db=50.0, ro=1e6,
+                                         cl=1e-11, parasitic_pole_hz=np.array(4e7))
+        assert np.abs(two_pole[0]) < np.abs(one_pole[0])
+
+
+class TestCodegen:
+    def test_module_text_structure(self):
+        source = generate_verilog_a(
+            objective_tables={"gain": "gain_delta.tbl",
+                              "pm": "pm_delta.tbl"},
+            parameter_tables={"lp1": "lp1_data.tbl", "lp2": "lp2_data.tbl"},
+            ro_ohms=1.2e6)
+        # The structural landmarks of the paper's listing.
+        assert 'module ota_yield_model' in source
+        assert '$table_model (gain, "gain_delta.tbl", "3E")' in source
+        assert 'gain_prop = ((gain_delta/100)*gain)+gain' in source
+        assert '$table_model (gain_prop,pm_prop,"lp1_data.tbl","3E,3E")' in source
+        assert 'pow(10,gain_prop/20)' in source
+        assert 'I(out)*ro' in source
+        assert '$fopen("params.dat")' in source
+        assert source.count("endmodule") == 1
+
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            generate_verilog_a(objective_tables={"gain": "g.tbl"},
+                               parameter_tables={}, ro_ohms=1.0)
+
+    def test_package_writes_all_files(self, tmp_path, combined_model):
+        written = write_verilog_a_package(combined_model, tmp_path)
+        assert (tmp_path / "ota_yield_model.va").exists()
+        assert (tmp_path / "gain_delta.tbl").exists()
+        assert (tmp_path / "pm_delta.tbl").exists()
+        for i in range(1, 9):
+            assert (tmp_path / f"lp{i}_data.tbl").exists()
+        assert written["module"].read_text().startswith("// Combined")
+
+    def test_emitted_tables_are_readable(self, tmp_path, combined_model):
+        from repro.tablemodel import TableModel
+        write_verilog_a_package(combined_model, tmp_path)
+        tm = TableModel.from_file(tmp_path / "gain_delta.tbl", "3C")
+        lo, hi = tm.bounds[0]
+        mid = 0.5 * (lo + hi)
+        assert np.isfinite(tm(mid))

@@ -1,0 +1,172 @@
+"""Monte-Carlo machinery tests: streams, samplers, engine, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mc import (MCConfig, PopulationSummary, child_streams, cpk,
+                      latin_hypercube_normal, monte_carlo,
+                      monte_carlo_points, relative_spread_pct, stream,
+                      summarize)
+from repro.process import C35
+
+
+class TestStreams:
+    def test_same_key_same_stream(self):
+        assert stream(1, "mc").random() == stream(1, "mc").random()
+
+    def test_different_keys_differ(self):
+        assert stream(1, "a").random() != stream(1, "b").random()
+
+    def test_different_seeds_differ(self):
+        assert stream(1, "mc").random() != stream(2, "mc").random()
+
+    def test_child_streams_independent_and_reproducible(self):
+        a = child_streams(7, "pts", 3)
+        b = child_streams(7, "pts", 3)
+        for ga, gb in zip(a, b):
+            assert ga.random() == gb.random()
+        values = [g.random() for g in child_streams(7, "pts", 3)]
+        assert len(set(values)) == 3
+
+
+class TestLatinHypercube:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        samples = latin_hypercube_normal(rng, 100, 4)
+        assert samples.shape == (100, 4)
+
+    def test_stratification(self):
+        # Mapping back through the normal CDF must give one sample per
+        # 1/n stratum in every dimension.
+        from math import erf
+        rng = np.random.default_rng(1)
+        n = 50
+        samples = latin_hypercube_normal(rng, n, 2)
+        uniforms = 0.5 * (1 + np.vectorize(erf)(samples / np.sqrt(2)))
+        for dim in range(2):
+            strata = np.floor(uniforms[:, dim] * n).astype(int)
+            assert len(np.unique(strata)) == n
+
+    def test_moments_better_than_iid(self):
+        rng = np.random.default_rng(2)
+        samples = latin_hypercube_normal(rng, 200, 1)[:, 0]
+        assert abs(np.mean(samples)) < 0.02
+        assert np.std(samples) == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            latin_hypercube_normal(rng, 0, 1)
+
+
+class TestStatistics:
+    def test_summarize(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        s = summarize(data)
+        assert isinstance(s, PopulationSummary)
+        assert s.mean == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.median == 3.0
+        assert "n=5" in s.describe()
+
+    def test_summarize_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            summarize([1.0, np.nan])
+
+    def test_summarize_needs_two(self):
+        with pytest.raises(ValueError):
+            summarize([1.0])
+
+    def test_relative_spread(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(100.0, 1.0, size=(3, 5000))
+        spread = relative_spread_pct(data, k_sigma=3.0)
+        np.testing.assert_allclose(spread, 3.0, rtol=0.1)
+
+    def test_cpk_two_sided(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(0.0, 1.0, 10000)
+        assert cpk(data, lower=-3.0, upper=3.0) == pytest.approx(1.0,
+                                                                 abs=0.05)
+
+    def test_cpk_one_sided(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10.0, 1.0, 10000)
+        assert cpk(data, lower=7.0) == pytest.approx(1.0, abs=0.05)
+
+    def test_cpk_requires_limit(self):
+        with pytest.raises(ValueError):
+            cpk([1.0, 2.0])
+
+    def test_cpk_zero_std(self):
+        assert cpk([5.0, 5.0, 5.0], lower=0.0) == np.inf
+
+
+class TestEngineSingle:
+    @staticmethod
+    def fake_evaluator(sample):
+        # A deterministic function of the die parameters.
+        return {"metric": 10.0 + 100.0 * sample.dvto_n,
+                "other": sample.kp_scale_n}
+
+    def test_shapes_and_reproducibility(self):
+        config = MCConfig(n_samples=64, seed=5)
+        a = monte_carlo(self.fake_evaluator, C35, config)
+        b = monte_carlo(self.fake_evaluator, C35, config)
+        assert a["metric"].shape == (64,)
+        np.testing.assert_array_equal(a["metric"], b["metric"])
+
+    def test_seed_changes_samples(self):
+        a = monte_carlo(self.fake_evaluator, C35, MCConfig(n_samples=16, seed=1))
+        b = monte_carlo(self.fake_evaluator, C35, MCConfig(n_samples=16, seed=2))
+        assert not np.allclose(a["metric"], b["metric"])
+
+    def test_variation_toggles(self):
+        config = MCConfig(n_samples=32, seed=3, include_global=False)
+        result = monte_carlo(self.fake_evaluator, C35, config)
+        np.testing.assert_allclose(result["metric"], 10.0)
+
+
+class TestEnginePoints:
+    @staticmethod
+    def make_evaluator(offsets):
+        def evaluator(point_indices, repeats, die_sample):
+            # value = point offset + die-level noise, tiled point-major.
+            base = np.repeat(offsets[point_indices], repeats)
+            return {"metric": base + die_sample.dvto_n}
+        return evaluator
+
+    def test_point_major_reshape(self):
+        offsets = np.array([0.0, 100.0, 200.0, 300.0])
+        config = MCConfig(n_samples=25, seed=9, chunk_lanes=60)
+        result = monte_carlo_points(self.make_evaluator(offsets), 4, C35,
+                                    config)
+        metric = result["metric"]
+        assert metric.shape == (4, 25)
+        means = metric.mean(axis=1)
+        np.testing.assert_allclose(means, offsets, atol=0.05)
+
+    def test_chunking_covers_all_points(self):
+        offsets = np.arange(7, dtype=float)
+        config = MCConfig(n_samples=10, seed=9, chunk_lanes=25)  # 2 pts/chunk
+        result = monte_carlo_points(self.make_evaluator(offsets), 7, C35,
+                                    config)
+        assert result["metric"].shape == (7, 10)
+
+    def test_progress_callback(self):
+        offsets = np.zeros(3)
+        seen = []
+        config = MCConfig(n_samples=5, seed=1, chunk_lanes=5)
+        monte_carlo_points(self.make_evaluator(offsets), 3, C35, config,
+                           progress=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (3, 3)
+        assert len(seen) == 3  # one chunk per point at 5 lanes/chunk
+
+    def test_reproducible_for_fixed_config(self):
+        offsets = np.zeros(2)
+        config = MCConfig(n_samples=8, seed=4)
+        a = monte_carlo_points(self.make_evaluator(offsets), 2, C35, config)
+        b = monte_carlo_points(self.make_evaluator(offsets), 2, C35, config)
+        np.testing.assert_array_equal(a["metric"], b["metric"])

@@ -1,0 +1,147 @@
+"""Tests for the circuit container and compilation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, Inductor, Resistor,
+                           VoltageSource, is_ground)
+from repro.errors import NetlistError
+
+
+def divider() -> Circuit:
+    c = Circuit("divider")
+    c.add(VoltageSource("V1", "in", "0", 1.0))
+    c.add(Resistor("R1", "in", "out", 1e3))
+    c.add(Resistor("R2", "out", "0", 1e3))
+    return c
+
+
+class TestGround:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "Gnd"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    @pytest.mark.parametrize("name", ["vss", "out", "00", "ground"])
+    def test_non_ground(self, name):
+        assert not is_ground(name)
+
+    def test_groundless_circuit_rejected(self):
+        c = Circuit("floating")
+        c.add(Resistor("R1", "a", "b", 1.0))
+        with pytest.raises(NetlistError, match="ground"):
+            c.compile()
+
+
+class TestCircuitContainer:
+    def test_add_and_lookup(self):
+        c = divider()
+        assert len(c) == 3
+        assert "R1" in c
+        assert c.element("R1").resistance == 1e3
+
+    def test_duplicate_name_rejected(self):
+        c = divider()
+        with pytest.raises(NetlistError, match="duplicate"):
+            c.add(Resistor("R1", "x", "0", 1.0))
+
+    def test_remove(self):
+        c = divider()
+        removed = c.remove("R2")
+        assert removed.name == "R2"
+        assert "R2" not in c
+        with pytest.raises(NetlistError):
+            c.remove("R2")
+
+    def test_unknown_element(self):
+        with pytest.raises(NetlistError, match="no element"):
+            divider().element("R99")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError, match="empty"):
+            Circuit("empty").compile()
+
+    def test_iteration_preserves_order(self):
+        c = divider()
+        assert [e.name for e in c] == ["V1", "R1", "R2"]
+
+    def test_summary_mentions_elements(self):
+        text = divider().summary()
+        for name in ("V1", "R1", "R2"):
+            assert name in text
+
+
+class TestCompilation:
+    def test_node_indexing(self):
+        topo = divider().compile()
+        assert topo.n_nodes == 2
+        assert set(topo.node_names) == {"in", "out"}
+        assert topo.index_of("0") == -1
+        assert topo.index_of("gnd") == -1
+
+    def test_unknown_node(self):
+        topo = divider().compile()
+        with pytest.raises(NetlistError, match="unknown node"):
+            topo.index_of("nowhere")
+
+    def test_aux_rows_assigned(self):
+        c = divider()
+        c.add(Inductor("L1", "out", "mid", 1e-3))
+        topo = c.compile()
+        # 3 nodes (in, out, mid) + 1 source branch + 1 inductor branch.
+        assert topo.n_unknowns == 5
+
+    def test_compilation_cached_and_invalidated(self):
+        c = divider()
+        first = c.compile()
+        assert c.compile() is first
+        c.add(Resistor("R3", "out", "extra", 1.0))
+        assert c.compile() is not first
+
+    def test_nodes_property(self):
+        assert divider().nodes == ("in", "out")
+
+
+class TestBatching:
+    def test_scalar_circuit_batch_one(self):
+        assert divider().batch == 1
+
+    def test_batched_element_sets_circuit_batch(self):
+        c = divider()
+        c.element("R2").resistance = np.array([1e3, 2e3, 3e3])
+        c.invalidate()
+        assert c.batch == 3
+
+    def test_inconsistent_batches_rejected(self):
+        c = divider()
+        c.element("R1").resistance = np.array([1e3, 2e3])
+        c.element("R2").resistance = np.array([1e3, 2e3, 3e3])
+        c.invalidate()
+        with pytest.raises(NetlistError, match="batch"):
+            c.compile()
+
+    def test_2d_parameters_rejected(self):
+        c = divider()
+        c.element("R1").resistance = np.ones((2, 2))
+        c.invalidate()
+        with pytest.raises(NetlistError, match="1-D"):
+            c.compile()
+
+
+class TestElementValidation:
+    def test_positive_resistance_required(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -1.0)
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "b", -1e-12)
+
+    def test_engineering_strings_accepted(self):
+        assert Resistor("R1", "a", "b", "2.2k").resistance == 2200.0
+        assert Capacitor("C1", "a", "b", "10p").capacitance == 10e-12
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)

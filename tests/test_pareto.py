@@ -1,0 +1,142 @@
+"""Pareto dominance utility tests, including 2-D fast path vs general."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moo.pareto import (crowding_distance, dominates,
+                              fast_non_dominated_sort, non_dominated_mask,
+                              pareto_front_indices)
+from repro.moo.pareto import _mask_general, _mask_two_objectives
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([2, 2], [1, 1])
+        assert dominates([2, 1], [1, 1])
+        assert not dominates([1, 1], [2, 2])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([2, 0], [0, 2])
+        assert not dominates([0, 2], [2, 0])
+
+
+class TestNonDominatedMask:
+    def test_simple_front(self):
+        values = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0],
+                           [1.0, 1.0], [0.5, 2.5]])
+        mask = non_dominated_mask(values)
+        np.testing.assert_array_equal(mask, [True, True, True, False, False])
+
+    def test_single_point(self):
+        assert non_dominated_mask(np.array([[1.0, 2.0]]))[0]
+
+    def test_duplicates_all_kept(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0], [0.5, 0.5]])
+        mask = non_dominated_mask(values)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_nan_rows_excluded(self):
+        values = np.array([[np.nan, 5.0], [1.0, 1.0]])
+        mask = non_dominated_mask(values)
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_all_nan(self):
+        values = np.full((3, 2), np.nan)
+        assert not non_dominated_mask(values).any()
+
+    def test_three_objectives(self):
+        values = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1],
+                           [0.4, 0.4, 0.4], [0.1, 0.1, 0.1]])
+        mask = non_dominated_mask(values)
+        np.testing.assert_array_equal(mask, [True, True, True, True, False])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(-10, 10), st.floats(-10, 10)),
+                    min_size=1, max_size=60))
+    def test_2d_fast_path_equals_general(self, points):
+        values = np.asarray(points, dtype=float)
+        fast = _mask_two_objectives(values)
+        general = _mask_general(values)
+        np.testing.assert_array_equal(fast, general)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+                    min_size=2, max_size=40))
+    def test_front_members_mutually_non_dominated(self, points):
+        values = np.asarray(points, dtype=float)
+        mask = non_dominated_mask(values)
+        front = values[mask]
+        for i in range(front.shape[0]):
+            for j in range(front.shape[0]):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+                    min_size=2, max_size=40))
+    def test_dominated_points_have_dominator_on_front(self, points):
+        values = np.asarray(points, dtype=float)
+        mask = non_dominated_mask(values)
+        front = values[mask]
+        for k in np.nonzero(~mask)[0]:
+            assert any(dominates(f, values[k]) or np.array_equal(f, values[k])
+                       for f in front)
+
+
+class TestFrontIndices:
+    def test_sorted_by_first_objective(self):
+        values = np.array([[3.0, 1.0], [1.0, 3.0], [2.0, 2.0]])
+        indices = pareto_front_indices(values)
+        sorted_first = values[indices, 0]
+        assert np.all(np.diff(sorted_first) >= 0)
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        values = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        crowd = crowding_distance(values)
+        assert crowd[0] == np.inf and crowd[-1] == np.inf
+        assert np.isfinite(crowd[1]) and np.isfinite(crowd[2])
+
+    def test_small_sets_all_infinite(self):
+        assert np.all(crowding_distance(np.array([[1.0, 2.0]])) == np.inf)
+        assert np.all(
+            crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]])) == np.inf)
+
+    def test_sparser_point_has_higher_distance(self):
+        values = np.array([[0.0, 4.0], [1.0, 3.0], [1.2, 2.9],
+                           [3.0, 1.0], [4.0, 0.0]])
+        crowd = crowding_distance(values)
+        # Point 3 sits in a sparse region; points 1, 2 are crowded.
+        assert crowd[3] > crowd[1]
+        assert crowd[3] > crowd[2]
+
+
+class TestFastNonDominatedSort:
+    def test_layered_fronts(self):
+        values = np.array([
+            [3.0, 3.0],          # front 0
+            [2.0, 2.0],          # front 1
+            [1.0, 1.0],          # front 2
+        ])
+        fronts = fast_non_dominated_sort(values)
+        assert [f.tolist() for f in fronts] == [[0], [1], [2]]
+
+    def test_front_zero_matches_mask(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((50, 2))
+        fronts = fast_non_dominated_sort(values)
+        mask = non_dominated_mask(values)
+        assert set(fronts[0].tolist()) == set(np.nonzero(mask)[0].tolist())
+
+    def test_all_points_assigned_once(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((30, 3))
+        fronts = fast_non_dominated_sort(values)
+        assigned = np.concatenate(fronts)
+        assert sorted(assigned.tolist()) == list(range(30))

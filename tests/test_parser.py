@@ -1,0 +1,260 @@
+"""Tests for the SPICE-like netlist parser."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, dc_operating_point
+from repro.circuit import Capacitor, Mosfet, Resistor, VoltageSource
+from repro.circuit.parser import NetlistParser, parse_netlist
+from repro.errors import ParseError
+from repro.process import C35
+
+
+class TestBasicCards:
+    def test_divider_parses_and_solves(self):
+        c = parse_netlist("""
+        * a comment
+        V1 in 0 DC 10
+        R1 in out 1k
+        R2 out 0 1k
+        """)
+        assert len(c) == 3
+        op = dc_operating_point(c)
+        assert op.v("out")[0] == pytest.approx(5.0)
+
+    def test_all_passive_elements(self):
+        c = parse_netlist("""
+        V1 a 0 1
+        R1 a b 1k
+        C1 b 0 10p
+        L1 b c 1u
+        R2 c 0 1k
+        """)
+        assert isinstance(c.element("R1"), Resistor)
+        assert isinstance(c.element("C1"), Capacitor)
+        assert c.element("C1").capacitance == pytest.approx(10e-12)
+
+    def test_continuation_lines(self):
+        c = parse_netlist("""
+        R1 a 0
+        + 2.2k
+        V1 a 0 1
+        """)
+        assert c.element("R1").resistance == pytest.approx(2200.0)
+
+    def test_inline_semicolon_comment(self):
+        c = parse_netlist("""
+        V1 a 0 1 ; drive
+        R1 a 0 1k ; load
+        """)
+        assert len(c) == 2
+
+    def test_case_of_ground(self):
+        c = parse_netlist("""
+        V1 a gnd 1
+        R1 a GND 1k
+        """)
+        op = dc_operating_point(c)
+        assert op.v("a")[0] == pytest.approx(1.0)
+
+    def test_end_card_stops_parsing(self):
+        c = parse_netlist("""
+        V1 a 0 1
+        R1 a 0 1k
+        .end
+        R2 a 0 1k
+        """)
+        assert "R2" not in c
+
+    def test_analysis_cards_ignored(self):
+        c = parse_netlist("""
+        V1 a 0 1
+        R1 a 0 1k
+        .ac dec 10 1 1meg
+        .op
+        """)
+        assert len(c) == 2
+
+
+class TestSources:
+    def test_dc_and_ac_spec(self):
+        c = parse_netlist("V1 in 0 DC 1.5 AC 1 90\nR1 in 0 1k")
+        src = c.element("V1")
+        assert src.dc == 1.5
+        assert src.ac_mag == 1.0
+        assert src.ac_phase_deg == 90.0
+
+    def test_plain_value(self):
+        c = parse_netlist("V1 in 0 3.3\nR1 in 0 1k")
+        assert c.element("V1").dc == pytest.approx(3.3)
+
+    def test_current_source(self):
+        c = parse_netlist("I1 0 n 1m\nR1 n 0 1k")
+        op = dc_operating_point(c)
+        assert op.v("n")[0] == pytest.approx(1.0)
+
+    def test_ac_solves(self):
+        c = parse_netlist("""
+        V1 in 0 DC 0 AC 1
+        R1 in out 1k
+        C1 out 0 1u
+        """)
+        res = ac_analysis(c, [159.154])  # the RC corner
+        assert res.magnitude_db("out")[0, 0] == pytest.approx(-3.01, abs=0.05)
+
+    def test_controlled_sources(self):
+        c = parse_netlist("""
+        V1 in 0 2
+        E1 e 0 in 0 5
+        G1 0 g in 0 1m
+        Rg g 0 1k
+        Re e 0 1k
+        """)
+        op = dc_operating_point(c)
+        assert op.v("e")[0] == pytest.approx(10.0)
+        assert op.v("g")[0] == pytest.approx(2.0)
+
+
+class TestModels:
+    def test_model_card(self):
+        c = parse_netlist("""
+        .model mynmos nmos (vto=0.6 kp=120u lambda=0.08u)
+        V1 d 0 2
+        V2 g 0 1.2
+        M1 d g 0 0 mynmos W=20u L=2u
+        """)
+        m1 = c.element("M1")
+        assert isinstance(m1, Mosfet)
+        assert m1.model.vto == pytest.approx(0.6)
+        assert m1.model.kp == pytest.approx(120e-6)
+        assert np.asarray(m1.w) == pytest.approx(20e-6)
+
+    def test_pdk_preseeded_models(self):
+        c = parse_netlist("""
+        V1 d 0 2
+        V2 g 0 1.2
+        M1 d g 0 0 nmos W=10u L=1u
+        """, models=C35.models)
+        assert c.element("M1").model is C35.nmos
+
+    def test_undefined_model_rejected(self):
+        with pytest.raises(ParseError, match="undefined MOSFET model"):
+            parse_netlist("M1 d g 0 0 missing W=1u L=1u\nV1 d 0 1")
+
+    def test_unsupported_model_type(self):
+        with pytest.raises(ParseError, match="unsupported model type"):
+            parse_netlist(".model q1 npn (bf=100)")
+
+    def test_unknown_model_params_tolerated(self):
+        c = parse_netlist("""
+        .model m1 nmos (vto=0.5 kp=100u nsub=1e17 tox=7.6n xj=0.3u)
+        V1 d 0 1
+        M1 d d 0 0 m1 W=1u L=1u
+        """)
+        assert c.element("M1").model.vto == 0.5
+
+
+class TestSubcircuits:
+    NETLIST = """
+    .subckt divby2 in out
+    R1 in out 1k
+    R2 out 0 1k
+    .ends
+    V1 a 0 DC 8
+    X1 a mid divby2
+    X2 mid end divby2
+    Rload end 0 100meg
+    """
+
+    def test_flattening_names(self):
+        c = parse_netlist(self.NETLIST)
+        names = {e.name for e in c}
+        assert "X1.R1" in names and "X2.R2" in names
+
+    def test_flattened_solution(self):
+        c = parse_netlist(self.NETLIST)
+        op = dc_operating_point(c)
+        # Second stage loads the first: 8V -> 3.2V -> 1.6V (approximately,
+        # with the huge Rload negligible).
+        assert op.v("mid")[0] == pytest.approx(3.2, rel=1e-3)
+        assert op.v("end")[0] == pytest.approx(1.6, rel=1e-3)
+
+    def test_internal_nodes_are_isolated(self):
+        c = parse_netlist("""
+        .subckt cell in out
+        R1 in internal 1k
+        R2 internal out 1k
+        .ends
+        V1 a 0 1
+        X1 a b cell
+        X2 a c cell
+        Rb b 0 1k
+        Rc c 0 1k
+        """)
+        topo = c.compile()
+        assert "X1.internal" in topo.node_names
+        assert "X2.internal" in topo.node_names
+
+    def test_port_count_mismatch(self):
+        with pytest.raises(ParseError, match="ports"):
+            parse_netlist("""
+            .subckt cell a b
+            R1 a b 1k
+            .ends
+            V1 x 0 1
+            X1 x cell
+            """)
+
+    def test_undefined_subcircuit(self):
+        with pytest.raises(ParseError, match="undefined subcircuit"):
+            parse_netlist("V1 a 0 1\nX1 a b nothere")
+
+    def test_unclosed_subcircuit(self):
+        with pytest.raises(ParseError, match="never closed"):
+            parse_netlist(".subckt cell a b\nR1 a b 1k")
+
+    def test_nested_definition_rejected(self):
+        with pytest.raises(ParseError, match="nested"):
+            parse_netlist(".subckt a x\n.subckt b y\n.ends\n.ends")
+
+
+class TestParams:
+    def test_param_substitution(self):
+        c = parse_netlist("""
+        .param rval=2.2k
+        V1 a 0 1
+        R1 a 0 rval
+        """)
+        assert c.element("R1").resistance == pytest.approx(2200.0)
+
+
+class TestErrors:
+    def test_line_numbers_in_errors(self):
+        try:
+            parse_netlist("V1 a 0 1\nR1 a 0 1k\nQ1 c b e model")
+        except ParseError as exc:
+            assert "line 3" in str(exc) or exc.line_no == 3
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_unknown_element_type(self):
+        with pytest.raises(ParseError, match="unknown element"):
+            parse_netlist("Z1 a b 1k")
+
+    def test_missing_nodes(self):
+        with pytest.raises(ParseError):
+            parse_netlist("R1 a 1k")
+
+    def test_orphan_continuation(self):
+        with pytest.raises(ParseError, match="continuation"):
+            parse_netlist("+ 1k")
+
+    def test_ends_without_subckt(self):
+        with pytest.raises(ParseError, match=".ends without"):
+            parse_netlist(".ends")
+
+    def test_parser_reuse_keeps_models(self):
+        parser = NetlistParser()
+        parser.parse(".model m1 nmos (vto=0.4 kp=100u)\nV1 a 0 1\nR1 a 0 1k")
+        c2 = parser.parse("V1 d 0 1\nM1 d d 0 0 m1 W=1u L=1u")
+        assert c2.element("M1").model.vto == pytest.approx(0.4)

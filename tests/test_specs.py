@@ -1,0 +1,104 @@
+"""Specification object tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.measure import Spec, SpecSet
+
+
+class TestSpec:
+    def test_ge_margin_and_satisfied(self):
+        spec = Spec("gain_db", "ge", 50.0, "dB")
+        np.testing.assert_allclose(spec.margin([49.0, 50.0, 51.0]),
+                                   [-1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(spec.satisfied([49.0, 50.0, 51.0]),
+                                      [False, True, True])
+
+    def test_le_margin(self):
+        spec = Spec("ripple_db", "le", 1.0, "dB")
+        np.testing.assert_allclose(spec.margin([0.5, 1.5]), [0.5, -0.5])
+
+    def test_nan_never_passes(self):
+        spec = Spec("gain_db", "ge", 50.0)
+        assert spec.margin([np.nan])[0] == -np.inf
+        assert not spec.satisfied([np.nan])[0]
+
+    def test_invalid_kind(self):
+        with pytest.raises(SpecificationError):
+            Spec("x", "gt", 1.0)
+
+    def test_infinite_limit_rejected(self):
+        with pytest.raises(SpecificationError):
+            Spec("x", "ge", np.inf)
+
+    def test_describe(self):
+        assert Spec("gain_db", "ge", 50.0, "dB").describe() == \
+            "gain_db >= 50 dB"
+        assert "<=" in Spec("r", "le", 1.0).describe()
+
+    def test_label_used_in_describe(self):
+        spec = Spec("pm_deg", "ge", 74.0, "deg", label="phase margin")
+        assert "phase margin" in spec.describe()
+
+    def test_tightened(self):
+        spec = Spec("gain_db", "ge", 50.0, "dB")
+        tighter = spec.tightened(50.26)
+        assert tighter.limit == 50.26
+        assert tighter.kind == "ge"
+        assert spec.limit == 50.0  # original untouched
+
+
+class TestSpecSet:
+    def make(self):
+        return SpecSet([Spec("gain_db", "ge", 50.0, "dB"),
+                        Spec("pm_deg", "ge", 74.0, "deg")])
+
+    def test_pass_mask_all_specs(self):
+        specs = self.make()
+        perf = {"gain_db": np.array([51.0, 51.0, 49.0]),
+                "pm_deg": np.array([75.0, 73.0, 75.0])}
+        np.testing.assert_array_equal(specs.pass_mask(perf),
+                                      [True, False, False])
+
+    def test_yield_fraction(self):
+        specs = self.make()
+        perf = {"gain_db": np.array([51.0, 51.0, 49.0, 52.0]),
+                "pm_deg": np.array([75.0, 73.0, 75.0, 80.0])}
+        assert specs.yield_fraction(perf) == pytest.approx(0.5)
+
+    def test_missing_performance_key(self):
+        specs = self.make()
+        with pytest.raises(SpecificationError, match="lacks"):
+            specs.pass_mask({"gain_db": np.array([51.0])})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecificationError, match="duplicate"):
+            SpecSet([Spec("a", "ge", 1.0), Spec("a", "le", 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            SpecSet([])
+
+    def test_getitem(self):
+        specs = self.make()
+        assert specs["gain_db"].limit == 50.0
+        with pytest.raises(SpecificationError):
+            specs["nope"]
+
+    def test_worst_margins(self):
+        specs = self.make()
+        perf = {"gain_db": np.array([51.0, 55.0]),
+                "pm_deg": np.array([80.0, 73.0])}
+        worst = specs.worst_margins(perf)
+        assert worst["gain_db"] == pytest.approx(1.0)
+        assert worst["pm_deg"] == pytest.approx(-1.0)
+
+    def test_names_and_iteration(self):
+        specs = self.make()
+        assert specs.names == ("gain_db", "pm_deg")
+        assert len(list(specs)) == 2
+
+    def test_describe_joins(self):
+        text = self.make().describe()
+        assert "gain_db" in text and "pm_deg" in text

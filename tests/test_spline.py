@@ -1,0 +1,153 @@
+"""Interpolation kernel tests: exactness, continuity, extrapolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExtrapolationError, TableModelError
+from repro.tablemodel import (LinearInterpolator, NaturalCubicSpline,
+                              QuadraticSpline, make_interpolator)
+
+
+def knots(n=9, lo=0.0, hi=4.0):
+    return np.linspace(lo, hi, n)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(TableModelError):
+            LinearInterpolator([0, 1], [0, 1, 2])
+
+    def test_too_few_points(self):
+        with pytest.raises(TableModelError):
+            NaturalCubicSpline([0.0], [1.0])
+
+    def test_non_monotone_knots(self):
+        with pytest.raises(TableModelError, match="increasing"):
+            NaturalCubicSpline([0, 2, 1], [0, 1, 2])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(TableModelError):
+            LinearInterpolator([0, np.nan], [0, 1])
+
+    def test_unknown_degree(self):
+        with pytest.raises(TableModelError, match="degree"):
+            make_interpolator("4", [0, 1], [0, 1])
+
+    def test_unknown_extrapolation_mode(self):
+        spline = LinearInterpolator([0, 1], [0, 1])
+        with pytest.raises(TableModelError, match="extrapolation"):
+            spline(0.5, extrapolation="X")
+
+
+class TestExactness:
+    """Each kernel must reproduce polynomials of its own degree."""
+
+    @given(a=st.floats(-3, 3), b=st.floats(-3, 3))
+    def test_linear_reproduces_lines(self, a, b):
+        x = knots()
+        kernel = LinearInterpolator(x, a * x + b)
+        q = np.linspace(0, 4, 37)
+        np.testing.assert_allclose(kernel(q), a * q + b, atol=1e-9)
+
+    @given(a=st.floats(-2, 2), b=st.floats(-2, 2))
+    def test_quadratic_reproduces_quadratics(self, a, b):
+        x = knots()
+        y = a * x ** 2 + b * x
+        kernel = QuadraticSpline(x, y)
+        q = np.linspace(0, 4, 23)
+        np.testing.assert_allclose(kernel(q), a * q ** 2 + b * q,
+                                   atol=1e-7 * (1 + abs(a) + abs(b)))
+
+    def test_cubic_reproduces_lines_exactly(self):
+        # Natural end conditions are exact for straight lines.
+        x = knots()
+        kernel = NaturalCubicSpline(x, 2 * x - 1)
+        q = np.linspace(0, 4, 23)
+        np.testing.assert_allclose(kernel(q), 2 * q - 1, atol=1e-10)
+
+    def test_all_kernels_interpolate_knots(self):
+        x = knots()
+        y = np.sin(x)
+        for degree in ("1", "2", "3"):
+            kernel = make_interpolator(degree, x, y)
+            np.testing.assert_allclose(kernel(x), y, atol=1e-12,
+                                       err_msg=f"degree {degree}")
+
+    def test_cubic_beats_linear_on_smooth_data(self):
+        x = knots(12, 0, np.pi * 2)
+        y = np.sin(x)
+        q = np.linspace(0, 2 * np.pi, 200)
+        err_linear = np.max(np.abs(LinearInterpolator(x, y)(q) - np.sin(q)))
+        err_cubic = np.max(np.abs(NaturalCubicSpline(x, y)(q) - np.sin(q)))
+        assert err_cubic < err_linear / 3
+
+
+class TestContinuity:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-5, 5), min_size=4, max_size=12))
+    def test_cubic_first_derivative_continuous(self, values):
+        x = np.arange(len(values), dtype=float)
+        spline = NaturalCubicSpline(x, values)
+        h = 1e-7
+        for xk in x[1:-1]:
+            left = (spline(xk) - spline(xk - h)) / h
+            right = (spline(xk + h) - spline(xk)) / h
+            scale = 1.0 + max(abs(v) for v in values)
+            assert abs(left - right) < 1e-4 * scale
+
+    def test_cubic_natural_end_conditions(self):
+        x = knots()
+        spline = NaturalCubicSpline(x, np.cos(x))
+        h = 1e-4
+        # One-sided second-difference stencils at each boundary ~ 0,
+        # versus O(1) curvature in the interior.
+        d2_left = (spline(x[0]) - 2 * spline(x[0] + h)
+                   + spline(x[0] + 2 * h)) / h ** 2
+        d2_right = (spline(x[-1] - 2 * h) - 2 * spline(x[-1] - h)
+                    + spline(x[-1])) / h ** 2
+        assert abs(d2_left) < 0.05
+        assert abs(d2_right) < 0.05
+        d2_mid = (spline(2.0 - h) - 2 * spline(2.0) + spline(2.0 + h)) / h ** 2
+        assert abs(d2_mid) > 0.2
+
+    def test_derivative_method_matches_fd(self):
+        x = knots()
+        spline = NaturalCubicSpline(x, np.sin(x))
+        q = np.linspace(0.2, 3.8, 11)
+        h = 1e-6
+        fd = (spline(q + h) - spline(q - h)) / (2 * h)
+        np.testing.assert_allclose(spline.derivative(q), fd, atol=1e-5)
+
+
+class TestExtrapolation:
+    def make(self):
+        return NaturalCubicSpline([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+
+    def test_error_mode_raises(self):
+        spline = self.make()
+        with pytest.raises(ExtrapolationError):
+            spline(2.5, extrapolation="E")
+        with pytest.raises(ExtrapolationError):
+            spline(-0.1, extrapolation="E")
+
+    def test_error_mode_tolerates_fp_noise_at_boundary(self):
+        spline = self.make()
+        assert spline(2.0 + 1e-13, extrapolation="E") == pytest.approx(0.0,
+                                                                       abs=1e-9)
+
+    def test_clamp_mode(self):
+        spline = self.make()
+        assert spline(5.0, extrapolation="C") == pytest.approx(spline(2.0))
+        assert spline(-5.0, extrapolation="C") == pytest.approx(spline(0.0))
+
+    def test_linear_mode_extends_with_boundary_slope(self):
+        spline = LinearInterpolator([0.0, 1.0], [0.0, 2.0])
+        assert spline(2.0, extrapolation="L") == pytest.approx(4.0)
+        assert spline(-1.0, extrapolation="L") == pytest.approx(-2.0)
+
+    def test_scalar_in_scalar_out(self):
+        spline = self.make()
+        assert np.isscalar(float(spline(0.5)))
+        assert spline(np.array([0.5, 1.5])).shape == (2,)

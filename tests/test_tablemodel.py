@@ -1,0 +1,191 @@
+"""``$table_model`` emulation tests: control strings, grids, files."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExtrapolationError, TableModelError
+from repro.tablemodel import (ParetoTableModel, TableModel,
+                              parse_control_string, read_table, write_table)
+
+
+class TestControlString:
+    def test_single_spec(self):
+        (spec,) = parse_control_string("3E", 1)
+        assert spec.degree == "3" and spec.extrapolation == "E"
+
+    def test_paper_forms(self):
+        specs = parse_control_string("3E,3E", 2)
+        assert [repr(s) for s in specs] == ["3E", "3E"]
+
+    def test_broadcast_single_to_many(self):
+        specs = parse_control_string("1C", 3)
+        assert len(specs) == 3 and all(s.degree == "1" for s in specs)
+
+    def test_default_extrapolation_is_error(self):
+        (spec,) = parse_control_string("2", 1)
+        assert spec.extrapolation == "E"
+
+    @pytest.mark.parametrize("bad", ["", "4E", "3X", "3EE", "3E,2"])
+    def test_malformed(self, bad):
+        dimensions = bad.count(",") + 1
+        if bad == "3E,2":
+            # This one is actually valid (second dim defaults to E).
+            specs = parse_control_string(bad, 2)
+            assert specs[1].extrapolation == "E"
+            return
+        with pytest.raises(TableModelError):
+            parse_control_string(bad, dimensions)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(TableModelError, match="dimensions"):
+            parse_control_string("3E,3E,3E", 2)
+
+
+class Test1DTables:
+    def test_knot_exactness(self):
+        x = np.linspace(0, 5, 11)
+        y = x ** 2
+        tm = TableModel.from_data(x, y, "3E")
+        np.testing.assert_allclose(tm(x), y, atol=1e-9)
+
+    def test_unsorted_input_sorted_internally(self):
+        tm = TableModel.from_data([2.0, 0.0, 1.0], [4.0, 0.0, 1.0], "1E")
+        assert tm(1.5) == pytest.approx(2.5)
+
+    def test_duplicate_coordinates_averaged(self):
+        tm = TableModel.from_data([0.0, 1.0, 1.0, 2.0],
+                                  [0.0, 1.0, 3.0, 2.0], "1E")
+        assert tm(1.0) == pytest.approx(2.0)
+
+    def test_extrapolation_error_mode(self):
+        tm = TableModel.from_data([0.0, 1.0], [0.0, 1.0], "1E")
+        with pytest.raises(ExtrapolationError):
+            tm(1.5)
+
+    def test_clamp_mode(self):
+        tm = TableModel.from_data([0.0, 1.0], [0.0, 1.0], "1C")
+        assert tm(9.0) == pytest.approx(1.0)
+
+    def test_bounds_property(self):
+        tm = TableModel.from_data([0.0, 3.0], [1.0, 2.0], "1E")
+        assert tm.bounds == [(0.0, 3.0)]
+
+    def test_array_query_broadcast(self):
+        tm = TableModel.from_data([0.0, 1.0, 2.0], [0.0, 1.0, 4.0], "1E")
+        out = tm(np.array([0.5, 1.5]))
+        assert out.shape == (2,)
+
+
+class Test2DGrids:
+    @staticmethod
+    def grid_table(nx=5, ny=4, control="3E,3E"):
+        gx, gy = np.meshgrid(np.linspace(0, 1, nx), np.linspace(0, 2, ny),
+                             indexing="ij")
+        coords = np.stack([gx.ravel(), gy.ravel()], axis=1)
+        values = 2 * gx.ravel() + 3 * gy.ravel()
+        return TableModel.from_data(coords, values, control)
+
+    def test_plane_reproduced(self):
+        tm = self.grid_table()
+        assert tm(0.37, 1.21) == pytest.approx(2 * 0.37 + 3 * 1.21, abs=1e-9)
+
+    def test_grid_points_exact(self):
+        tm = self.grid_table()
+        assert tm(0.25, 2.0) == pytest.approx(2 * 0.25 + 6.0, abs=1e-9)
+
+    def test_per_dimension_extrapolation(self):
+        tm = self.grid_table(control="3C,3E")
+        # First dim clamps, second raises.
+        assert tm(5.0, 1.0) == pytest.approx(2 * 1.0 + 3 * 1.0, abs=1e-9)
+        with pytest.raises(ExtrapolationError):
+            tm(0.5, 5.0)
+
+    def test_scattered_data_rejected_with_hint(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.5], [2.0, 1.7]])
+        with pytest.raises(TableModelError, match="ParetoTableModel"):
+            TableModel.from_data(coords, [1.0, 2.0, 3.0], "3E,3E")
+
+    def test_wrong_query_arity(self):
+        tm = self.grid_table()
+        with pytest.raises(TableModelError, match="inputs"):
+            tm(0.5)
+
+    def test_3d_grid(self):
+        axes = [np.linspace(0, 1, 3)] * 3
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        coords = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+        values = gx.ravel() + 10 * gy.ravel() + 100 * gz.ravel()
+        tm = TableModel.from_data(coords, values, "1E,1E,1E")
+        assert tm(0.5, 0.5, 0.5) == pytest.approx(55.5)
+
+
+class TestTblFiles:
+    def test_roundtrip_full_precision(self, tmp_path):
+        x = np.array([1.0 / 3.0, np.pi, 2.0 ** 0.5 * 1e-12])
+        y = np.array([1e-15, 2.5, -3.7e8])
+        path = tmp_path / "t.tbl"
+        write_table(path, np.sort(x), y, header="test table")
+        coords, values = read_table(path)
+        np.testing.assert_array_equal(coords[:, 0], np.sort(x))
+        np.testing.assert_array_equal(values, y)
+
+    def test_comments_and_blank_lines(self):
+        text = """# header comment
+        * spice comment
+
+        1.0 2.0
+        3.0 4.0
+        // c++ style
+        5.0 6.0
+        """
+        coords, values = read_table(text)
+        assert coords.shape == (3, 1)
+        np.testing.assert_array_equal(values, [2.0, 4.0, 6.0])
+
+    def test_two_input_columns(self):
+        coords, values = read_table("1 2 3\n4 5 6\n")
+        assert coords.shape == (2, 2)
+        np.testing.assert_array_equal(values, [3.0, 6.0])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(TableModelError, match="columns"):
+            read_table("1 2\n1 2 3\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TableModelError, match="non-numeric"):
+            read_table("1 abc\n")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(TableModelError, match="no data"):
+            read_table("# only comments\n")
+
+    def test_single_column_rejected(self):
+        with pytest.raises(TableModelError):
+            read_table("1.0\n2.0\n")
+
+    def test_write_validates_shape(self, tmp_path):
+        with pytest.raises(TableModelError):
+            write_table(tmp_path / "bad.tbl", [1.0, 2.0], [1.0])
+
+    def test_table_model_from_file(self, tmp_path):
+        path = tmp_path / "m.tbl"
+        write_table(path, [0.0, 1.0, 2.0], [0.0, 1.0, 4.0])
+        tm = TableModel.from_file(path, "3E")
+        assert tm(1.0) == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=20,
+                    unique=True))
+    def test_roundtrip_property(self, xs):
+        import tempfile
+        from pathlib import Path
+        xs = sorted(xs)
+        ys = [float(np.sin(x)) for x in xs]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prop.tbl"
+            write_table(path, xs, ys)
+            coords, values = read_table(path)
+        np.testing.assert_array_equal(coords[:, 0], xs)
+        np.testing.assert_array_equal(values, ys)
