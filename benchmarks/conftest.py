@@ -17,8 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.flow import (FilterFlowConfig, FlowConfig, paper_scale_config,
-                        reduced_config, run_filter_flow,
-                        run_model_build_flow)
+                        run_filter_flow, run_model_build_flow)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

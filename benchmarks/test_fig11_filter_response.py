@@ -7,7 +7,6 @@ filter, and the 500-sample Monte-Carlo yield check ("confirmed a yield of
 100%").  Benchmarks the transistor-level filter AC solve.
 """
 
-import numpy as np
 
 from repro.analysis import ac_analysis
 from repro.designs import build_filter_transistor

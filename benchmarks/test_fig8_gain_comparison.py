@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.analysis import ac_analysis, log_frequencies
 from repro.behavioral import ota_transfer_function
-from repro.designs import OTAParameters, build_ota, evaluate_ota
+from repro.designs import OTAParameters, build_ota
 from repro.measure import Spec, SpecSet
 
 

@@ -12,7 +12,6 @@ Benchmarks the guard-band query (one cubic ``$table_model`` read + the
 arithmetic) -- the operation the behavioural model performs per design.
 """
 
-import numpy as np
 import pytest
 
 from repro.measure import Spec

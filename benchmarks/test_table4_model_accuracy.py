@@ -10,7 +10,6 @@ re-simulate the interpolated parameters with the MNA engine, and compare.
 Benchmarks the transistor-level verification simulation.
 """
 
-import numpy as np
 
 from repro.designs import OTAParameters, evaluate_ota
 from repro.measure import Spec, SpecSet

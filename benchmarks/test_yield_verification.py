@@ -4,6 +4,11 @@ using 500 samples was carried out and verified a yield of 100%".
 Runs the fresh Monte Carlo on the yield-targeted OTA design and reports
 the measured yield with its Wilson interval.  Benchmarks a 50-die MC
 batch (the flow's unit of Monte-Carlo work).
+
+A second test runs the same verification in the optional
+importance-sampling mode (mean-shift proposal + likelihood-ratio
+reweighting, :mod:`repro.yieldmodel.importance`) and cross-checks it
+against the direct estimate by confidence-interval overlap.
 """
 
 import numpy as np
@@ -12,12 +17,14 @@ from repro.designs import OTAParameters, evaluate_ota
 from repro.mc import MCConfig, monte_carlo
 from repro.measure import Spec, SpecSet
 from repro.process import C35
-from repro.yieldmodel import estimate_yield
+from repro.yieldmodel import (ImportanceSamplingConfig, estimate_yield,
+                              estimate_yield_importance)
 
 from conftest import FULL_SCALE
 
 
-def test_yield_verification(flow_result, emit, benchmark):
+def _verification_target(flow_result):
+    """The yield-targeted design and specs shared by both verifications."""
     model = flow_result.model
     lo, hi = model.table.key_range("gain_db")
     gain_spec = 50.0 if lo + 0.2 <= 50.0 <= hi - 0.5 else lo + 0.55 * (hi - lo)
@@ -31,6 +38,12 @@ def test_yield_verification(flow_result, emit, benchmark):
         tiled = OTAParameters.from_array(
             np.broadcast_to(params.to_array(), (sample.size, 8)))
         return evaluate_ota(tiled, variations=sample)
+
+    return design, specs, evaluator
+
+
+def test_yield_verification(flow_result, emit, benchmark):
+    design, specs, evaluator = _verification_target(flow_result)
 
     benchmark(monte_carlo, evaluator, C35, MCConfig(n_samples=50, seed=7))
 
@@ -50,3 +63,38 @@ def test_yield_verification(flow_result, emit, benchmark):
     emit("yield_verification", "\n".join(lines))
 
     assert estimate.fraction >= 0.98  # "100%" within MC resolution
+
+
+def test_yield_verification_importance_sampling(flow_result, emit):
+    """Optional IS mode of the verification, cross-checked against MC."""
+    design, specs, evaluator = _verification_target(flow_result)
+
+    n_samples = 500 if FULL_SCALE else 200
+    pilot = 100 if FULL_SCALE else 60
+    is_estimate = estimate_yield_importance(
+        evaluator, specs, C35,
+        ImportanceSamplingConfig(n_samples=n_samples, pilot_samples=pilot,
+                                 seed=99))
+
+    population = monte_carlo(evaluator, C35,
+                             MCConfig(n_samples=n_samples, seed=99))
+    direct = estimate_yield(population, specs)
+
+    lines = [
+        f"spec: {specs.describe()}",
+        f"guard-banded design at front position "
+        f"{design.front_position:.3f} dB",
+        is_estimate.describe(),
+        "",
+        "direct-MC cross-check:",
+        direct.describe(),
+        "",
+        f"estimates consistent (CI overlap): "
+        f"{is_estimate.consistent_with(direct)}",
+    ]
+    emit("yield_verification_importance_sampling", "\n".join(lines))
+
+    # The acceptance cross-check: IS must agree with direct MC within
+    # the reported confidence intervals.
+    assert is_estimate.consistent_with(direct)
+    assert is_estimate.yield_estimate >= 0.95

@@ -29,6 +29,7 @@ import numpy as np
 from ..designs.ota import OTAParameters, evaluate_ota
 from ..measure.specs import SpecSet
 from ..moo.ga import GAConfig, gaussian_mutation, tournament_select, uniform_crossover
+from ..mc.engine import MCConfig, monte_carlo_points
 from ..mc.sampler import stream
 from ..process import C35, ProcessKit
 from ..yieldmodel.estimator import YieldEstimate, estimate_yield
@@ -39,13 +40,26 @@ __all__ = ["DirectMCConfig", "DirectMCResult", "run_direct_mc_optimization"]
 
 @dataclass(frozen=True)
 class DirectMCConfig:
-    """Settings of the conventional yield-inclusive optimisation."""
+    """Settings of the conventional yield-inclusive optimisation.
+
+    ``backend``/``workers`` select the execution backend for the
+    per-candidate Monte Carlo (see :mod:`repro.exec`); the default defers
+    to ``REPRO_EXEC_BACKEND`` and then serial execution.  ``chunk_lanes``
+    shards each generation's sweep; the default (200 lanes = 4 candidates
+    at 50 samples each) splits the stock 1000-lane generation into 5
+    chunks, so a pooled backend actually has work to distribute --
+    remember that the chunk geometry, not the backend, fixes the random
+    draw (see :class:`repro.mc.engine.MCConfig`).
+    """
 
     population: int = 20
     generations: int = 10
     mc_samples_per_candidate: int = 50
     seed: int = 2008
     yield_weight: float = 2.0
+    chunk_lanes: int = 200
+    backend: str | None = None
+    workers: int = 0
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.population,
@@ -92,6 +106,9 @@ def run_direct_mc_optimization(specs: SpecSet,
     rng = stream(config.seed, "direct-mc")
     ledger = SimulationLedger()
     say = progress or (lambda message: None)
+    mc_config = MCConfig(n_samples=config.mc_samples_per_candidate,
+                         seed=config.seed, chunk_lanes=config.chunk_lanes,
+                         backend=config.backend, workers=config.workers)
 
     pop = config.population
     genes = rng.random((pop, 8))
@@ -108,18 +125,24 @@ def run_direct_mc_optimization(specs: SpecSet,
 
             # Per-candidate Monte Carlo: tile each candidate against its
             # own die samples -- the expensive inner loop the proposed
-            # flow eliminates.
-            tiled = params.tile(config.mc_samples_per_candidate)
-            die = pdk.sample(pop * config.mc_samples_per_candidate,
-                             stream(config.seed, f"direct-mc-gen{generation}"))
-            mc_perf = evaluate_ota(tiled, pdk=pdk, variations=die)
+            # flow eliminates.  Routed through the chunked engine so the
+            # sweep parallelises across the configured backend.
+            generation_genes = genes
+
+            def mc_evaluator(point_indices, repeats, die_sample):
+                tiled = OTAParameters.from_normalized(
+                    np.repeat(generation_genes[point_indices], repeats,
+                              axis=0))
+                return evaluate_ota(tiled, pdk=pdk, variations=die_sample)
+
+            mc_perf = monte_carlo_points(
+                mc_evaluator, pop, pdk, mc_config,
+                stage=f"direct-mc-gen{generation}")
             total_sims += pop * config.mc_samples_per_candidate
 
             yields = np.empty(pop)
             for i in range(pop):
-                lanes = slice(i * config.mc_samples_per_candidate,
-                              (i + 1) * config.mc_samples_per_candidate)
-                candidate_perf = {name: values[lanes]
+                candidate_perf = {name: values[i]
                                   for name, values in mc_perf.items()}
                 yields[i] = specs.yield_fraction(candidate_perf)
 

@@ -15,27 +15,43 @@ seconds-scale smoke run.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .designs.ota import OTA_DESIGN_SPACE
+from .errors import ReproError
+from .exec import resolve_backend
 from .flow.artifacts import rebuild_model, save_flow_artifacts
 from .flow.filter_flow import FilterFlowConfig, run_filter_flow
-from .flow.pipeline import (FlowConfig, paper_scale_config, reduced_config,
+from .flow.pipeline import (paper_scale_config, reduced_config,
                             run_model_build_flow)
 from .measure.specs import Spec, SpecSet
 
 __all__ = ["main"]
 
 
+def _backend_invalid(spec: str, workers: int = 0) -> bool:
+    """Fail fast on a bad backend spec (or REPRO_EXEC_BACKEND value)
+    instead of tracebacking after earlier flow stages already ran."""
+    try:
+        resolve_backend(spec or None, workers)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_build(args) -> int:
     config = reduced_config(args.seed) if args.reduced \
         else paper_scale_config(args.seed)
     if args.generations:
-        config = FlowConfig(generations=args.generations,
-                            population=config.population,
-                            mc_samples=config.mc_samples,
-                            seed=args.seed,
-                            max_pareto_points=config.max_pareto_points)
+        config = dataclasses.replace(config, generations=args.generations)
+    if _backend_invalid(args.backend, args.workers):
+        return 2
+    if args.backend:
+        config = dataclasses.replace(config, mc_backend=args.backend)
+    if args.workers:
+        config = dataclasses.replace(config, mc_workers=args.workers)
     result = run_model_build_flow(config, progress=print)
     print()
     print(result.ledger.table())
@@ -68,6 +84,8 @@ def _cmd_target(args) -> int:
 
 
 def _cmd_filter(args) -> int:
+    if _backend_invalid(""):  # the filter flow's MC honours the env var
+        return 2
     model = rebuild_model(args.model_dir)
     config = FilterFlowConfig(seed=args.seed,
                               verification_samples=args.samples)
@@ -99,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds-scale run instead of paper scale")
     build.add_argument("--generations", type=int, default=0,
                        help="override generation count")
+    build.add_argument("--backend", default="",
+                       help="Monte-Carlo execution backend: serial, "
+                            "thread[:N], process[:N], or auto "
+                            "(default: $REPRO_EXEC_BACKEND or serial)")
+    build.add_argument("--workers", type=int, default=0,
+                       help="worker count for pooled backends "
+                            "(default: one per CPU)")
     build.set_defaults(func=_cmd_build)
 
     target = sub.add_parser("target", help="yield-target a specification")

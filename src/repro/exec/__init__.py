@@ -1,0 +1,17 @@
+"""Execution backends: where and how chunked Monte-Carlo work runs.
+
+The engine in :mod:`repro.mc.engine` splits every sweep into
+independently-seeded chunks; this package supplies the pluggable
+strategies (serial / thread pool / forked process pool) that execute
+them.  See :mod:`repro.exec.backend` for the determinism contract.
+"""
+
+from .backend import (BACKEND_ENV_VAR, Backend, ProcessBackend,
+                      SerialBackend, ThreadBackend, available_backends,
+                      default_workers, resolve_backend)
+
+__all__ = [
+    "BACKEND_ENV_VAR", "Backend", "SerialBackend", "ThreadBackend",
+    "ProcessBackend", "available_backends", "default_workers",
+    "resolve_backend",
+]

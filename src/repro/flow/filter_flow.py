@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..designs.filter2 import (DEFAULT_FILTER_SPEC, FilterCaps, FilterSpec,
+from ..designs.filter2 import (FilterCaps, FilterSpec,
                                build_filter_behavioral,
                                build_filter_transistor, evaluate_filter)
 from ..designs.ota import OTAParameters

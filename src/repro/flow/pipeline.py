@@ -59,6 +59,8 @@ class FlowConfig:
     ibias: float = 20e-6
     mc_chunk_lanes: int = 4000
     max_pareto_points: int | None = None
+    mc_backend: str | None = None
+    mc_workers: int = 0
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.population,
@@ -239,7 +241,9 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
     say(f"Monte Carlo: {config.mc_samples} samples x {k_points} points")
     mc_config = MCConfig(n_samples=config.mc_samples,
                          seed=config.seed,
-                         chunk_lanes=config.mc_chunk_lanes)
+                         chunk_lanes=config.mc_chunk_lanes,
+                         backend=config.mc_backend,
+                         workers=config.mc_workers)
 
     def mc_evaluator(point_indices, repeats, die_sample):
         tiled = OTAParameters.from_array(

@@ -14,9 +14,27 @@ Two entry points:
 
 Both consume evaluator callables rather than circuits, so the same engine
 drives transistor-level OTAs, behavioural filters, or plain functions in
-tests.  Randomness derives from one ``(seed, stage-key)`` stream; given
-the same configuration (including ``chunk_lanes``) results are
-bit-reproducible.
+tests.
+
+Chunking, seeding, and parallelism
+----------------------------------
+Work is decomposed into chunks of at most ``chunk_lanes`` simultaneous
+batch lanes.  Each chunk owns a private child random stream spawned from
+``(seed, stage-key)`` (see :func:`repro.mc.sampler.child_streams`), and a
+chunk's evaluation touches no state outside itself.  Consequences:
+
+* Results are **bit-reproducible** for a fixed ``MCConfig`` -- including
+  ``chunk_lanes``, which fixes the chunk geometry and therefore which die
+  realisation lands on which (point, sample) lane.
+* Results are **invariant to the execution backend and worker count**:
+  chunks may run serially, on threads, or on forked worker processes
+  (:mod:`repro.exec`) and concatenate to identical arrays, because no
+  chunk ever consumes another chunk's randomness.
+* Changing ``chunk_lanes`` changes the sample population (a different,
+  equally-valid draw), not its statistics.
+
+Backends are selected by :attr:`MCConfig.backend`, falling back to the
+``REPRO_EXEC_BACKEND`` environment variable and then serial execution.
 """
 
 from __future__ import annotations
@@ -25,7 +43,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..process.pdk import ProcessKit, ProcessSample
+from ..exec import Backend, resolve_backend
+from ..process.pdk import ProcessKit
 from .sampler import child_streams, stream
 
 __all__ = ["MCConfig", "monte_carlo", "monte_carlo_points"]
@@ -48,7 +67,26 @@ class MCConfig:
         performance's variation.
     chunk_lanes:
         Upper bound on simultaneous batch lanes (points x samples) per
-        stacked solve.
+        stacked solve.  This is the engine's **memory knob**: peak
+        working memory is proportional to the per-chunk lane count
+        (times the stacked MNA matrix size), never to the total sweep
+        size.  One caveat: :func:`monte_carlo_points` treats each
+        point's sample block as atomic, so when ``n_samples >
+        chunk_lanes`` a chunk still holds one full point and the
+        effective bound is ``max(chunk_lanes, n_samples)`` lanes
+        (:func:`monte_carlo` has no such floor -- it slices a single
+        design's samples directly).  ``chunk_lanes`` also fixes the
+        chunk geometry, so two runs compare bit-for-bit only when their
+        ``chunk_lanes`` match (see the module docstring).
+    backend:
+        Execution backend for the chunk sweep: ``"serial"``, ``"thread"``,
+        ``"process"``, ``"auto"``, optionally with a ``":N"`` worker
+        suffix, or a live :class:`repro.exec.Backend` instance.  ``None``
+        defers to the ``REPRO_EXEC_BACKEND`` environment variable
+        (default: serial).  The choice never affects numeric results.
+    workers:
+        Worker count for pooled backends when the spec carries no
+        explicit count; ``0`` means one per CPU.
     """
 
     n_samples: int = 200
@@ -56,10 +94,32 @@ class MCConfig:
     include_global: bool = True
     include_mismatch: bool = True
     chunk_lanes: int = 4000
+    backend: "str | Backend | None" = None
+    workers: int = 0
+
+
+def _run_chunks(backend, run_chunk, chunk_bounds, progress, total_units):
+    """Execute chunk tasks on ``backend``; adapt progress to work units.
+
+    ``progress`` (if given) is called with cumulative completed units
+    (points or samples) out of ``total_units``, monotonically, whatever
+    order chunks finish in.
+    """
+    on_done = None
+    if progress is not None:
+        sizes = [stop - start for start, stop, _ in chunk_bounds]
+        state = {"units": 0}
+
+        def on_done(done, total, index):
+            state["units"] += sizes[index]
+            progress(state["units"], total_units)
+
+    return backend.run(run_chunk, chunk_bounds, progress=on_done)
 
 
 def monte_carlo(evaluator, pdk: ProcessKit,
-                config: MCConfig | None = None) -> dict[str, np.ndarray]:
+                config: MCConfig | None = None,
+                progress=None) -> dict[str, np.ndarray]:
     """Monte Carlo on one design.
 
     Parameters
@@ -67,24 +127,51 @@ def monte_carlo(evaluator, pdk: ProcessKit,
     evaluator:
         Callable ``(ProcessSample) -> dict[name, (S,) array]`` that builds
         and simulates the design under the given process realisations.
+    progress:
+        Optional callback ``(samples_done, n_samples)``.
 
     Returns
     -------
     Mapping performance name -> ``(n_samples,)`` sample array.
+
+    Notes
+    -----
+    When ``n_samples`` exceeds ``chunk_lanes`` the population is drawn in
+    independently-seeded chunks that the configured backend may evaluate
+    in parallel.  A single-chunk run (the common verification case) uses
+    the same ``(seed, "mc-single")`` stream as ever, so historical seeds
+    keep producing identical populations.
     """
     config = config or MCConfig()
-    rng = stream(config.seed, "mc-single")
-    sample = pdk.sample(config.n_samples, rng,
-                        include_global=config.include_global,
-                        include_mismatch=config.include_mismatch)
-    performance = evaluator(sample)
-    return {name: np.asarray(values, dtype=float).reshape(-1)
-            for name, values in performance.items()}
+    total = config.n_samples
+    lanes = max(1, config.chunk_lanes)
+    n_chunks = max(1, (total + lanes - 1) // lanes)
+    if n_chunks == 1:
+        rngs = [stream(config.seed, "mc-single")]
+    else:
+        rngs = child_streams(config.seed, "mc-single", n_chunks)
+    bounds = [(i * lanes, min((i + 1) * lanes, total), rngs[i])
+              for i in range(n_chunks)]
+
+    def run_chunk(task):
+        start, stop, rng = task
+        sample = pdk.sample(stop - start, rng,
+                            include_global=config.include_global,
+                            include_mismatch=config.include_mismatch)
+        performance = evaluator(sample)
+        return {name: np.asarray(values, dtype=float).reshape(-1)
+                for name, values in performance.items()}
+
+    backend = resolve_backend(config.backend, config.workers)
+    parts = _run_chunks(backend, run_chunk, bounds, progress, total)
+    return {name: np.concatenate([part[name] for part in parts])
+            for name in parts[0]}
 
 
 def monte_carlo_points(evaluator, n_points: int, pdk: ProcessKit,
                        config: MCConfig | None = None,
-                       progress=None) -> dict[str, np.ndarray]:
+                       progress=None, *,
+                       stage: str = "mc-points") -> dict[str, np.ndarray]:
     """Monte Carlo across many design points (section 3.4 of the paper).
 
     Parameters
@@ -99,6 +186,10 @@ def monte_carlo_points(evaluator, n_points: int, pdk: ProcessKit,
         Total number of design points (K).
     progress:
         Optional callback ``(points_done, n_points)``.
+    stage:
+        Random-stream stage key.  Callers running several independent
+        point sweeps from one root seed (e.g. the per-generation MC of
+        the conventional baseline) pass distinct stage keys.
 
     Returns
     -------
@@ -108,26 +199,26 @@ def monte_carlo_points(evaluator, n_points: int, pdk: ProcessKit,
     samples = config.n_samples
     points_per_chunk = max(1, config.chunk_lanes // samples)
     n_chunks = (n_points + points_per_chunk - 1) // points_per_chunk
-    streams = child_streams(config.seed, "mc-points", n_chunks)
+    streams = child_streams(config.seed, stage, n_chunks)
+    bounds = [(start, min(start + points_per_chunk, n_points),
+               streams[index])
+              for index, start in enumerate(
+                  range(0, n_points, points_per_chunk))]
 
-    collected: dict[str, list[np.ndarray]] = {}
-    done = 0
-    for chunk_index in range(n_chunks):
-        start = chunk_index * points_per_chunk
-        stop = min(start + points_per_chunk, n_points)
+    def run_chunk(task):
+        start, stop, rng = task
         indices = np.arange(start, stop)
-        lanes = indices.size * samples
-        die_sample = pdk.sample(lanes, streams[chunk_index],
+        die_sample = pdk.sample(indices.size * samples, rng,
                                 include_global=config.include_global,
                                 include_mismatch=config.include_mismatch)
         performance = evaluator(indices, samples, die_sample)
-        for name, values in performance.items():
-            values = np.asarray(values, dtype=float).reshape(
-                indices.size, samples)
-            collected.setdefault(name, []).append(values)
-        done = stop
-        if progress is not None:
-            progress(done, n_points)
+        return {name: np.asarray(values, dtype=float).reshape(
+                    indices.size, samples)
+                for name, values in performance.items()}
 
-    return {name: np.concatenate(parts, axis=0)
-            for name, parts in collected.items()}
+    backend = resolve_backend(config.backend, config.workers)
+    parts = _run_chunks(backend, run_chunk, bounds, progress, n_points)
+    if not parts:
+        return {}
+    return {name: np.concatenate([part[name] for part in parts], axis=0)
+            for name in parts[0]}

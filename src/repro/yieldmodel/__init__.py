@@ -1,12 +1,19 @@
 """The paper's combined performance + variation yield model."""
 
-from .estimator import YieldEstimate, estimate_yield, wilson_interval
+from .estimator import (YieldEstimate, estimate_yield, normal_interval,
+                        wilson_interval, z_value)
+from .importance import (ImportanceSamplingConfig, ImportanceSamplingEstimate,
+                         estimate_yield_importance, global_sigmas,
+                         shifted_sample)
 from .targeting import CombinedYieldModel, GuardBandedTarget, YieldTargetedDesign
 from .variation import (DEFAULT_K_SIGMA, smooth_along_front,
                         variation_columns, variation_percent)
 
 __all__ = [
-    "YieldEstimate", "estimate_yield", "wilson_interval",
+    "YieldEstimate", "estimate_yield", "wilson_interval", "normal_interval",
+    "z_value",
+    "ImportanceSamplingConfig", "ImportanceSamplingEstimate",
+    "estimate_yield_importance", "global_sigmas", "shifted_sample",
     "CombinedYieldModel", "GuardBandedTarget", "YieldTargetedDesign",
     "DEFAULT_K_SIGMA", "smooth_along_front", "variation_columns",
     "variation_percent",

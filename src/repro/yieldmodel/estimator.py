@@ -16,7 +16,31 @@ import numpy as np
 
 from ..measure.specs import SpecSet
 
-__all__ = ["wilson_interval", "YieldEstimate", "estimate_yield"]
+__all__ = ["z_value", "wilson_interval", "normal_interval", "YieldEstimate",
+           "estimate_yield"]
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level.
+
+    >>> round(z_value(0.95), 3)
+    1.96
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    return math.sqrt(2.0) * _erfinv(confidence)
+
+
+def normal_interval(estimate: float, std_error: float,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation confidence interval clipped to ``[0, 1]``.
+
+    Used for estimators that are weighted means rather than binomial
+    counts (e.g. importance-sampled yield, where the Wilson interval does
+    not apply).
+    """
+    half = z_value(confidence) * std_error
+    return max(0.0, estimate - half), min(1.0, estimate + half)
 
 
 def wilson_interval(passed: int, total: int,
@@ -35,7 +59,7 @@ def wilson_interval(passed: int, total: int,
     if not 0 <= passed <= total:
         raise ValueError("passed must lie in [0, total]")
     # Two-sided z for the requested confidence (0.95 -> 1.95996...).
-    z = math.sqrt(2.0) * _erfinv(confidence)
+    z = z_value(confidence)
     p_hat = passed / total
     denom = 1.0 + z * z / total
     centre = (p_hat + z * z / (2 * total)) / denom

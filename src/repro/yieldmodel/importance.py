@@ -1,0 +1,317 @@
+"""Importance-sampled yield estimation (mean-shift + likelihood ratio).
+
+Plain Monte-Carlo yield estimation needs ``O(1 / (1 - Y))`` samples to see
+even one failing die of a high-yield design -- the paper's 500-sample
+verification of a "100 %" design bounds the yield only down to 99.26 %.
+Mean-shift importance sampling (cf. Bayrakci et al., *Fast Monte Carlo
+Estimation of Timing Yield: ISLE*; Jonsson & Lelong, *Rare event
+simulation for electronic circuit design*) attacks exactly this: draw die
+realisations from a proposal distribution shifted **toward the failure
+region**, then undo the bias with per-sample likelihood ratios.  Failures
+become common under the proposal, so the failure-probability estimate
+converges with far fewer simulator calls.
+
+The stochastic space here is the PDK's **global (inter-die) parameter
+vector** -- ``(dVto_n, dKp_n, dVto_p, dKp_p, dCap)``, independent normals
+under :meth:`repro.process.pdk.ProcessKit.sample`.  The proposal keeps the
+unit covariance and shifts the mean:
+
+1. **Pilot run** (plain MC, small): locate the failure region.  The shift
+   is the centroid of the failing pilot samples in sigma units; if the
+   pilot saw no failures (the expected case for a guard-banded design),
+   the centroid of the *most marginal* pilot tail -- the samples with the
+   smallest aggregate spec margin -- is used instead.
+2. **Main run**: sample globals from ``N(shift, I)`` (sigma units), keep
+   local mismatch at its nominal distribution (its likelihood ratio is
+   then exactly 1), and weight each sample by
+   ``w = N(x; 0, I) / N(x; shift, I)``.
+
+The estimator ``1 - mean(w * fail)`` is unbiased for the true yield; its
+standard error and effective sample size (ESS) come from the weighted
+population, and :meth:`ImportanceSamplingEstimate.consistent_with` cross-
+checks the result against a plain-MC :class:`YieldEstimate` by confidence-
+interval overlap (the yield-verification benchmark runs both).
+
+Caveat: :meth:`ProcessKit.sample` clips the relative current-factor and
+capacitance deviates at -4 sigma to keep them positive; the proposal
+applies the same clip, so the likelihood ratio is exact everywhere except
+that (probability ~3e-5) tail, a bias far below the estimator's noise
+floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mc.sampler import stream
+from ..process.pdk import ProcessKit, ProcessSample
+from .estimator import YieldEstimate, normal_interval
+from ..measure.specs import SpecSet
+
+__all__ = ["ImportanceSamplingConfig", "ImportanceSamplingEstimate",
+           "estimate_yield_importance", "global_sigmas", "shifted_sample"]
+
+#: Order of the global-parameter dimensions in all shift/sigma vectors.
+GLOBAL_DIMS = ("dvto_n", "kp_n", "dvto_p", "kp_p", "cap")
+
+
+def global_sigmas(pdk: ProcessKit) -> np.ndarray:
+    """1-sigma scales of the PDK's global parameters, :data:`GLOBAL_DIMS`
+    order."""
+    gv = pdk.global_variation
+    return np.array([gv.sigma_vto_n, gv.sigma_kp_n, gv.sigma_vto_p,
+                     gv.sigma_kp_p, gv.sigma_cap])
+
+
+@dataclass(frozen=True)
+class ImportanceSamplingConfig:
+    """Settings of the importance-sampled yield estimator.
+
+    Attributes
+    ----------
+    n_samples:
+        Main-run die realisations (drawn from the shifted proposal).
+    pilot_samples:
+        Plain-MC pilot realisations used to construct the mean shift.
+    seed:
+        Root seed; pilot and main runs use independent derived streams
+        (``"is-pilot"`` / ``"is-main"``).
+    max_shift_sigma:
+        Elementwise clamp on the mean shift, in sigma units.  Guards
+        against a wild pilot centroid degrading the proposal (a too-far
+        shift explodes the weight variance).
+    pilot_quantile:
+        When the pilot run sees no failures, the shift is built from this
+        fraction of the pilot population with the smallest aggregate
+        margin.
+    include_mismatch:
+        Carry local (Pelgrom) mismatch in both runs.  Mismatch stays at
+        its nominal distribution, so it contributes no likelihood ratio.
+    confidence:
+        Level of the reported normal-approximation interval.
+    """
+
+    n_samples: int = 500
+    pilot_samples: int = 100
+    seed: int = 2008
+    max_shift_sigma: float = 3.0
+    pilot_quantile: float = 0.10
+    include_mismatch: bool = True
+    confidence: float = 0.95
+
+
+@dataclass
+class ImportanceSamplingEstimate:
+    """An importance-sampled yield measurement with its diagnostics.
+
+    Attributes
+    ----------
+    yield_estimate:
+        Unbiased estimate ``1 - mean(w * fail)`` of the true yield.
+    std_error:
+        Standard error of the estimate (sample variance of ``w * fail``).
+    n_samples, pilot_samples:
+        Main-run / pilot-run sizes (total simulator cost is their sum).
+    shift_sigma:
+        The proposal mean shift, sigma units, :data:`GLOBAL_DIMS` order.
+    effective_samples:
+        Kish effective sample size ``(sum w)^2 / sum w^2`` of the main
+        run -- a proposal-quality diagnostic (close to ``n_samples`` is
+        healthy; tiny means the shift overshot).
+    pilot_failures:
+        Failing dies observed in the pilot (0 is normal for guard-banded
+        designs; the marginal-tail fallback then builds the shift).
+    weighted_failure:
+        The raw weighted failure probability ``mean(w * fail)``.
+    """
+
+    yield_estimate: float
+    std_error: float
+    n_samples: int
+    pilot_samples: int
+    shift_sigma: np.ndarray
+    effective_samples: float
+    pilot_failures: int
+    weighted_failure: float
+    confidence: float = 0.95
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """Normal-approximation confidence interval on the true yield."""
+        return normal_interval(self.yield_estimate, self.std_error,
+                               self.confidence)
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.yield_estimate
+
+    def consistent_with(self, direct: YieldEstimate) -> bool:
+        """Do this estimate and a plain-MC estimate agree?
+
+        True when the two confidence intervals overlap -- the cross-check
+        the yield-verification benchmark applies between the
+        importance-sampled and directly-counted yields.
+        """
+        lo_is, hi_is = self.interval
+        lo_mc, hi_mc = direct.interval
+        return lo_is <= hi_mc and lo_mc <= hi_is
+
+    def describe(self) -> str:
+        lo, hi = self.interval
+        shift = ", ".join(f"{name}={value:+.2f}s"
+                          for name, value in zip(GLOBAL_DIMS,
+                                                 self.shift_sigma))
+        return (f"IS yield {self.percent:.2f}% "
+                f"({self.confidence:.0%} CI: [{100 * lo:.2f}%, "
+                f"{100 * hi:.2f}%])\n"
+                f"  main run {self.n_samples} samples "
+                f"(ESS {self.effective_samples:.0f}), "
+                f"pilot {self.pilot_samples} samples "
+                f"({self.pilot_failures} failures)\n"
+                f"  proposal shift: {shift}")
+
+
+def _draw_shifted(pdk: ProcessKit, size: int, rng: np.random.Generator,
+                  shift: np.ndarray, include_mismatch: bool
+                  ) -> tuple[ProcessSample, np.ndarray, np.ndarray]:
+    """Proposal draw returning ``(sample, weights, x)``.
+
+    ``x`` are the raw standard-normal-frame draws (sigma units, before
+    the PDK's -4-sigma positivity clip), which the pilot stage feeds to
+    the mean-shift construction without a lossy round-trip through the
+    clipped natural-unit values.
+    """
+    x = shift[None, :] + rng.normal(size=(size, len(GLOBAL_DIMS)))
+    # log[N(x;0,I)/N(x;mu,I)] = sum_j mu_j * (mu_j - 2 x_j) / 2
+    log_weights = 0.5 * np.sum(shift * (shift - 2.0 * x), axis=1)
+    weights = np.exp(log_weights)
+
+    sig = global_sigmas(pdk)
+    kp_n = 1.0 + np.clip(x[:, 1] * sig[1], -4.0 * sig[1], None)
+    kp_p = 1.0 + np.clip(x[:, 3] * sig[3], -4.0 * sig[3], None)
+    cap = 1.0 + np.clip(x[:, 4] * sig[4], -4.0 * sig[4], None)
+    sample = ProcessSample(
+        size,
+        dvto_n=x[:, 0] * sig[0], kp_scale_n=kp_n,
+        dvto_p=x[:, 2] * sig[2], kp_scale_p=kp_p, cap_scale=cap,
+        mismatch=pdk.mismatch if include_mismatch else None,
+        rng=rng if include_mismatch else None)
+    return sample, weights, x
+
+
+def shifted_sample(pdk: ProcessKit, size: int, rng: np.random.Generator,
+                   shift_sigma: np.ndarray, *,
+                   include_mismatch: bool = True
+                   ) -> tuple[ProcessSample, np.ndarray]:
+    """Draw dies from the mean-shifted proposal with their weights.
+
+    Parameters
+    ----------
+    shift_sigma:
+        Proposal mean in sigma units, :data:`GLOBAL_DIMS` order.  The
+        zero vector reproduces the nominal distribution (weights all 1).
+
+    Returns
+    -------
+    ``(sample, weights)``: a :class:`ProcessSample` of ``size`` dies and
+    the per-die likelihood ratios ``N(x; 0, I) / N(x; shift, I)``.
+    """
+    shift = np.asarray(shift_sigma, dtype=float)
+    if shift.shape != (len(GLOBAL_DIMS),):
+        raise ValueError(f"shift must have shape ({len(GLOBAL_DIMS)},)")
+    sample, weights, _ = _draw_shifted(pdk, size, rng, shift,
+                                       include_mismatch)
+    return sample, weights
+
+
+def _aggregate_margin(performance: dict[str, np.ndarray],
+                      specs: SpecSet) -> np.ndarray:
+    """Per-sample worst normalised margin (negative = failing)."""
+    worst: np.ndarray | None = None
+    for spec in specs:
+        scale = max(abs(spec.limit), 1e-9)
+        margin = spec.margin(np.asarray(performance[spec.name])) / scale
+        worst = margin if worst is None else np.minimum(worst, margin)
+    return np.atleast_1d(worst)
+
+
+def _mean_shift(x_pilot: np.ndarray, fail_mask: np.ndarray,
+                margins: np.ndarray,
+                config: ImportanceSamplingConfig) -> np.ndarray:
+    """Mean-shift construction from the pilot population (sigma units)."""
+    if np.any(fail_mask):
+        centroid = x_pilot[fail_mask].mean(axis=0)
+    else:
+        # No observed failures: aim at the most marginal tail instead.
+        count = max(1, int(round(config.pilot_quantile * margins.size)))
+        tail = np.argsort(margins)[:count]
+        centroid = x_pilot[tail].mean(axis=0)
+    limit = config.max_shift_sigma
+    return np.clip(centroid, -limit, limit)
+
+
+def estimate_yield_importance(evaluator, specs: SpecSet,
+                              pdk: ProcessKit,
+                              config: ImportanceSamplingConfig | None = None
+                              ) -> ImportanceSamplingEstimate:
+    """Estimate a design's yield by mean-shift importance sampling.
+
+    Parameters
+    ----------
+    evaluator:
+        Same contract as :func:`repro.mc.engine.monte_carlo`: callable
+        ``(ProcessSample) -> dict[name, (S,) array]``.
+    specs:
+        The specification set defining pass/fail.
+
+    Returns
+    -------
+    An :class:`ImportanceSamplingEstimate`; total simulator cost is
+    ``pilot_samples + n_samples`` evaluator lanes.
+    """
+    config = config or ImportanceSamplingConfig()
+    if config.pilot_samples < 2 or config.n_samples < 2:
+        raise ValueError("pilot_samples and n_samples must be >= 2")
+
+    # Pilot: plain (unshifted) draw to locate the failure direction.
+    pilot_rng = stream(config.seed, "is-pilot")
+    zero = np.zeros(len(GLOBAL_DIMS))
+    pilot_sample, _, x_pilot = _draw_shifted(
+        pdk, config.pilot_samples, pilot_rng, zero,
+        config.include_mismatch)
+    pilot_perf = {name: np.asarray(values, dtype=float).reshape(-1)
+                  for name, values in evaluator(pilot_sample).items()}
+    pilot_fail = ~specs.pass_mask(pilot_perf)
+    margins = _aggregate_margin(pilot_perf, specs)
+    shift = _mean_shift(x_pilot, pilot_fail, margins, config)
+
+    # Main run: shifted proposal + likelihood-ratio reweighting.
+    main_rng = stream(config.seed, "is-main")
+    sample, weights = shifted_sample(
+        pdk, config.n_samples, main_rng, shift,
+        include_mismatch=config.include_mismatch)
+    performance = {name: np.asarray(values, dtype=float).reshape(-1)
+                   for name, values in evaluator(sample).items()}
+    fail = ~specs.pass_mask(performance)
+
+    contributions = weights * fail
+    failure_probability = float(np.mean(contributions))
+    std_error = float(np.std(contributions, ddof=1)
+                      / np.sqrt(config.n_samples))
+    weight_sum = float(np.sum(weights))
+    weight_sq = float(np.sum(weights * weights))
+    ess = (weight_sum * weight_sum / weight_sq) if weight_sq > 0 else 0.0
+
+    return ImportanceSamplingEstimate(
+        yield_estimate=1.0 - failure_probability,
+        std_error=std_error,
+        n_samples=config.n_samples,
+        pilot_samples=config.pilot_samples,
+        shift_sigma=shift,
+        effective_samples=ess,
+        pilot_failures=int(np.count_nonzero(pilot_fail)),
+        weighted_failure=failure_probability,
+        confidence=config.confidence,
+    )

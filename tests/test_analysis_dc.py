@@ -8,9 +8,8 @@ from hypothesis import strategies as st
 
 from repro.analysis import Assembler, NewtonOptions, dc_operating_point
 from repro.analysis.mna import solve_batched
-from repro.circuit import (Circuit, CurrentSource, Diode, Mosfet, Resistor,
+from repro.circuit import (Circuit, Diode, Mosfet, Resistor,
                            VoltageSource)
-from repro.circuit.mosfet import MOSModel
 from repro.errors import SingularMatrixError
 from repro.process import C35
 

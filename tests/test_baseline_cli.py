@@ -63,8 +63,6 @@ class TestCLI:
         assert (tmp_path / "ota_yield_model.va").exists()
 
         # Target a spec that the reduced front can satisfy.
-        import json
-        import numpy as np
         arrays = np.load(tmp_path / "flow_result.npz")
         gains = arrays["pareto_objectives"][:, 0]
         spec_gain = float(np.percentile(gains, 50))

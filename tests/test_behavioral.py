@@ -8,7 +8,7 @@ from repro.behavioral import (BehavioralOTA, generate_verilog_a,
                               ota_transfer_function, write_verilog_a_package)
 from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
 from repro.errors import NetlistError
-from repro.measure import dc_gain_db, f3db
+from repro.measure import f3db
 from repro.units import from_db20
 
 

@@ -1,7 +1,6 @@
 """Pareto dominance utility tests, including 2-D fast path vs general."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

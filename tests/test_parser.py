@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import ac_analysis, dc_operating_point
-from repro.circuit import Capacitor, Mosfet, Resistor, VoltageSource
+from repro.circuit import Capacitor, Mosfet, Resistor
 from repro.circuit.parser import NetlistParser, parse_netlist
 from repro.errors import ParseError
 from repro.process import C35

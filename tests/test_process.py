@@ -6,8 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ReproError
-from repro.process import (C35, GlobalVariation, MismatchModel, ProcessKit,
-                           ProcessSample, make_c35)
+from repro.process import (C35, MismatchModel, ProcessSample, make_c35)
 
 
 class TestKitStructure:
