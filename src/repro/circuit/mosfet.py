@@ -75,6 +75,9 @@ class MOSModel:
     n_sub: float = 1.5        # subthreshold slope factor
     kf: float = 1.0e-24       # flicker-noise coefficient [C^2/m^2-ish]
     af: float = 1.0           # flicker-noise frequency exponent
+    tnom: float = 300.15      # nominal model temperature [K] (27 C)
+    tcv: float = 2.0e-3       # |VT| temperature coefficient [V/K], |VT| falls with T
+    bex: float = -1.5         # mobility temperature exponent, kp ~ (T/tnom)^bex
 
     def __post_init__(self) -> None:
         if self.polarity not in ("n", "p"):
@@ -90,6 +93,21 @@ class MOSModel:
         """
         sign = 1.0 if self.polarity == "n" else -1.0
         return replace(self, vto=self.vto + sign * dvto, kp=self.kp * kp_scale)
+
+    def temperature_shift(self, temp_k) -> tuple[np.ndarray, np.ndarray]:
+        """Per-lane ``(dvto, kp_scale)`` equivalent of operating at ``temp_k``.
+
+        First-order SPICE temperature model: the threshold magnitude falls
+        linearly (``|VT|(T) = |VT| - tcv*(T - tnom)``) and mobility follows
+        the power law ``kp(T) = kp * (T/tnom)**bex``.  Returned in the
+        NMOS-frame sign convention of the :class:`Mosfet` statistical
+        hooks (positive ``dvto`` = higher ``|VT|``), so temperature lanes
+        stack directly onto process-variation lanes.
+        """
+        temp_k = np.asarray(temp_k, dtype=float)
+        dvto = -self.tcv * (temp_k - self.tnom)
+        kp_scale = (temp_k / self.tnom) ** self.bex
+        return dvto, kp_scale
 
 
 @dataclass

@@ -21,6 +21,7 @@ import sys
 from .designs.ota import OTA_DESIGN_SPACE
 from .errors import ReproError
 from .exec import resolve_backend
+from .process import C35
 from .flow.artifacts import rebuild_model, save_flow_artifacts
 from .flow.filter_flow import FilterFlowConfig, run_filter_flow
 from .flow.pipeline import (paper_scale_config, reduced_config,
@@ -41,6 +42,17 @@ def _backend_invalid(spec: str, workers: int = 0) -> bool:
     return False
 
 
+def _parse_floats(spec: str, option: str) -> tuple[float, ...]:
+    """Parse a comma-separated float list CLI option."""
+    try:
+        return tuple(float(token) for token in spec.split(",")
+                     if token.strip())
+    except ValueError:
+        raise ReproError(
+            f"{option} expects a comma-separated list of numbers, "
+            f"got {spec!r}") from None
+
+
 def _cmd_build(args) -> int:
     config = reduced_config(args.seed) if args.reduced \
         else paper_scale_config(args.seed)
@@ -52,9 +64,21 @@ def _cmd_build(args) -> int:
         config = dataclasses.replace(config, mc_backend=args.backend)
     if args.workers:
         config = dataclasses.replace(config, mc_workers=args.workers)
+    try:
+        config = dataclasses.replace(
+            config, corners=args.corners,
+            corner_vdds=_parse_floats(args.vdd, "--vdd"),
+            corner_temps=_parse_floats(args.temp, "--temp"))
+        config.corner_grid(C35)  # fail fast on unknown corner names
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     result = run_model_build_flow(config, progress=print)
     print()
     print(result.ledger.table())
+    if result.corner_check is not None:
+        print()
+        print(result.corner_check.summary_table())
     written = save_flow_artifacts(result, args.output)
     print(f"\nartefacts written to {args.output}:")
     for name, path in sorted(written.items()):
@@ -124,6 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--workers", type=int, default=0,
                        help="worker count for pooled backends "
                             "(default: one per CPU)")
+    build.add_argument("--corners", default="all",
+                       help="PVT corner-verification set: 'all' (default), "
+                            "a comma list of corner names (e.g. tm,ws), or "
+                            "'none' to skip the stage")
+    build.add_argument("--vdd", default="",
+                       help="comma list of supply voltages [V] for the "
+                            "corner sweep (default: nominal +/-10%%)")
+    build.add_argument("--temp", default="",
+                       help="comma list of temperatures [deg C] for the "
+                            "corner sweep (default: -40,27,125); use the "
+                            "'--temp=-40,27,125' form for lists starting "
+                            "with a negative value")
     build.set_defaults(func=_cmd_build)
 
     target = sub.add_parser("target", help="yield-target a specification")

@@ -1,0 +1,21 @@
+"""PVT corner/scenario sweeps: deterministic worst-case verification.
+
+The deterministic complement to :mod:`repro.mc`: instead of sampling die
+realisations, enumerate the foundry's worst-case process corners crossed
+with supply-voltage and temperature sets, and evaluate all of them as
+extra lanes of one stacked MNA solve (see :mod:`repro.corners.sweep`).
+"""
+
+from .grid import (DEFAULT_TEMPS_C, DEFAULT_VDD_SCALES, CornerGrid, PVTPoint,
+                   default_vdds)
+from .report import CornerVerification, format_corner_table
+from .sweep import (CornerSweepResult, corner_sweep, corner_sweep_points,
+                    corner_sweep_sequential)
+
+__all__ = [
+    "CornerGrid", "PVTPoint", "DEFAULT_TEMPS_C", "DEFAULT_VDD_SCALES",
+    "default_vdds",
+    "CornerSweepResult", "corner_sweep", "corner_sweep_points",
+    "corner_sweep_sequential",
+    "CornerVerification", "format_corner_table",
+]

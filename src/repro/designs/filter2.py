@@ -222,7 +222,9 @@ def build_filter_transistor(caps: FilterCaps, ota_params: OTAParameters, *,
     process scale on C1-C3.
     """
     circuit = Circuit("2nd-order OTA-C low-pass filter (transistor)")
-    circuit.add(VoltageSource("VDD", "vdd", "0", pdk.supply))
+    supply = pdk.supply if variations is None or variations.vdd is None \
+        else variations.vdd
+    circuit.add(VoltageSource("VDD", "vdd", "0", supply))
     circuit.add(VoltageSource("VIN", "vin", "0", vcm, ac_mag=1.0))
     add_ota_devices(circuit, prefix="ota1.", inp="vin", inn="v2", out="v1",
                     vdd="vdd", params=ota_params, pdk=pdk,

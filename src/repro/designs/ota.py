@@ -270,7 +270,9 @@ def build_ota(params: OTAParameters, *, pdk: ProcessKit = C35,
     """
     p = name_prefix
     circuit = Circuit(f"symmetrical OTA testbench {p}".strip())
-    circuit.add(VoltageSource(f"{p}VDD", f"{p}vdd", "0", pdk.supply))
+    supply = pdk.supply if variations is None or variations.vdd is None \
+        else variations.vdd
+    circuit.add(VoltageSource(f"{p}VDD", f"{p}vdd", "0", supply))
     circuit.add(VoltageSource(f"{p}VINP", f"{p}inp", "0", vcm,
                               ac_mag=1.0 if ac_drive else 0.0))
     add_ota_devices(circuit, prefix=p, inp=f"{p}inp", inn=f"{p}inn",

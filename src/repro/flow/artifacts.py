@@ -10,8 +10,11 @@ exactly that artefact set for a finished
 * ``lp1_data.tbl`` ... ``lp8_data.tbl`` -- the performance model
   (design parameter vs (gain, pm));
 * ``ota_yield_model.va`` -- the generated Verilog-A module;
-* ``flow_result.npz`` + ``flow_summary.json`` -- full numeric state, so a
-  flow run can be reloaded without re-simulating.
+* ``corner_margins.txt`` -- the PVT corner-verification spec-margin
+  table (when the corner stage ran);
+* ``flow_result.npz`` + ``flow_summary.json`` -- full numeric state
+  (including per-corner performance arrays), so a flow run can be
+  reloaded without re-simulating.
 
 ``load_flow_arrays`` restores the numpy payload and rebuilds the combined
 model (the WBGA history itself is not persisted -- it is 10k rows of
@@ -65,6 +68,14 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
         arrays[f"mc_{name}"] = data
     for name, data in result.variation.items():
         arrays[f"var_{name}"] = data
+    corner_check = getattr(result, "corner_check", None)
+    if corner_check is not None:
+        for name, data in corner_check.samples.items():
+            arrays[f"corner_{name}"] = data
+        # The per-corner spec-margin table, human-readable.
+        table_path = directory / "corner_margins.txt"
+        table_path.write_text(corner_check.summary_table() + "\n")
+        written["corner_margins"] = table_path
     npz_path = directory / "flow_result.npz"
     np.savez_compressed(npz_path, **arrays)
     written["arrays"] = npz_path
@@ -82,6 +93,16 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
         "objective_names": list(result.model.objective_names),
         "parameter_names": list(result.model.parameter_names),
     }
+    if corner_check is not None:
+        summary["corners"] = {
+            "grid": {"corners": list(corner_check.grid.corners),
+                     "vdds": list(corner_check.grid.vdds),
+                     "temps_c": list(corner_check.grid.temps_c)},
+            "spec": corner_check.specs.describe(),
+            "mc_bounded_fraction": {
+                name: check.bounded_fraction
+                for name, check in corner_check.mc_check.items()},
+        }
     json_path = directory / "flow_summary.json"
     json_path.write_text(json.dumps(summary, indent=2))
     written["summary"] = json_path

@@ -120,7 +120,7 @@ def _select_capacitors(front_unit: np.ndarray, front_obj: np.ndarray, *,
 
     Objectives are the saturated mask margins
     (:func:`repro.designs.problems.filter_margins`); a design is feasible
-    iff both are positive.  Candidates are tried best-margin-first; the
+    iff both are non-negative.  Candidates are tried best-margin-first; the
     first whose response stays inside the mask when all capacitors shift
     by ``+/-cap_corner_scale`` wins ("taking into account their
     variations", section 5).  If no candidate survives the corners the
@@ -136,7 +136,10 @@ def _select_capacitors(front_unit: np.ndarray, front_obj: np.ndarray, *,
             f"mask (best worst-margin {worst[order[0]]:.3f}); "
             "loosen the specification or enlarge the capacitor range")
 
-    feasible = [int(i) for i in order if worst[i] > 0]
+    # Feasibility mirrors Spec.satisfied (margin >= 0): a zero worst
+    # margin is on-mask, not a failure -- and must leave at least the
+    # best nominal point as the corner-check fallback below.
+    feasible = [int(i) for i in order if worst[i] >= 0]
     for index in feasible:
         caps = FilterCaps.from_normalized(front_unit[index])
         corners_ok = True

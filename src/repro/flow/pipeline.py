@@ -10,6 +10,10 @@
    individuals (section 3.3; the paper finds 1022 points).
 4. **Monte-Carlo variation analysis** -- ``mc_samples`` die realisations
    on *every* Pareto point (section 3.4; paper: 200).
+4b. **PVT corner verification** -- every Pareto point swept across the
+   full process-corner x supply x temperature grid as stacked batch
+   lanes (:mod:`repro.corners`), reporting per-corner spec margins and
+   checking that deterministic corners bound the Monte-Carlo spread.
 5. **Table-model generation** -- performance + variation tables
    (section 3.5) assembled into a
    :class:`~repro.yieldmodel.targeting.CombinedYieldModel`.
@@ -20,15 +24,18 @@ so Table 5 and the conventional-flow comparison can be regenerated.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..corners import CornerGrid, CornerVerification, corner_sweep_points
 from ..designs.ota import (OTA_DESIGN_SPACE, OTAParameters, evaluate_ota)
 from ..designs.problems import OTAProblem
 from ..errors import YieldModelError
 from ..mc.engine import MCConfig, monte_carlo_points
 from ..mc.sampler import stream
+from ..measure.specs import Spec, SpecSet
 from ..moo.ga import GAConfig
 from ..moo.wbga import WBGAResult, run_wbga
 from ..process import C35, ProcessKit
@@ -61,10 +68,39 @@ class FlowConfig:
     max_pareto_points: int | None = None
     mc_backend: str | None = None
     mc_workers: int = 0
+    #: Corner-verification stage: "all" sweeps every kit corner, a comma
+    #: list ("tm,ws") restricts it, "none" skips the stage entirely.
+    corners: str = "all"
+    #: Supply-voltage sweep [V]; empty means nominal +/-10 %.
+    corner_vdds: tuple[float, ...] = ()
+    #: Temperature sweep [deg C]; empty means -40/27/125.
+    corner_temps: tuple[float, ...] = ()
+    #: Spec limits the per-corner margins are measured against (the
+    #: paper's section-5 OTA requirement).
+    corner_spec_gain_db: float = 50.0
+    corner_spec_pm_deg: float = 60.0
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.population,
                         generations=self.generations, seed=self.seed)
+
+    def corner_grid(self, pdk: ProcessKit) -> CornerGrid | None:
+        """The PVT grid of the corner stage, or ``None`` when disabled."""
+        if self.corners.strip().lower() == "none":
+            return None
+        grid = CornerGrid.from_spec(pdk, self.corners)
+        if self.corner_vdds:
+            grid = dataclasses.replace(grid, vdds=tuple(self.corner_vdds))
+        if self.corner_temps:
+            grid = dataclasses.replace(grid, temps_c=tuple(self.corner_temps))
+        return grid
+
+    def corner_specs(self) -> SpecSet:
+        """The spec the corner margins are measured against."""
+        return SpecSet([
+            Spec("gain_db", "ge", self.corner_spec_gain_db, "dB"),
+            Spec("pm_deg", "ge", self.corner_spec_pm_deg, "deg"),
+        ])
 
 
 def paper_scale_config(seed: int = 2008) -> FlowConfig:
@@ -95,6 +131,10 @@ class FlowResult:
     model:
         The combined performance + variation model (the paper's
         deliverable).
+    corner_check:
+        Per-corner verification of the whole front
+        (:class:`~repro.corners.CornerVerification`), or ``None`` when
+        the stage was disabled (``config.corners == "none"``).
     ledger:
         Simulation/time accounting for the Table-5 comparison.
     """
@@ -109,6 +149,7 @@ class FlowResult:
     mc_samples: dict[str, np.ndarray]
     variation: dict[str, np.ndarray]
     model: CombinedYieldModel
+    corner_check: CornerVerification | None = None
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -260,6 +301,31 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
             progress=(lambda done, total:
                       say(f"  MC {done}/{total} points")) if progress else None)
 
+    # Stage 4b: deterministic PVT corner verification of the whole front.
+    corner_check = None
+    grid = config.corner_grid(pdk)
+    if grid is not None:
+        say(f"corner verification: {grid.describe()} x {k_points} points")
+
+        def corner_evaluator(point_indices, repeats, die_sample):
+            tiled = OTAParameters.from_array(
+                np.repeat(natural_params[point_indices], repeats, axis=0))
+            performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
+                                       cl=config.cl, ibias=config.ibias)
+            return {"gain_db": performance["gain_db"],
+                    "pm_deg": performance["pm_deg"]}
+
+        with ledger.timed("corner verification", k_points * grid.size):
+            corner_samples = corner_sweep_points(
+                corner_evaluator, k_points, pdk, grid,
+                backend=config.mc_backend, workers=config.mc_workers,
+                chunk_lanes=config.mc_chunk_lanes)
+        corner_check = CornerVerification(grid=grid, samples=corner_samples,
+                                          specs=config.corner_specs())
+        corner_check.attach_mc_check(mc_samples, k_sigma=config.k_sigma)
+        for check in corner_check.mc_check.values():
+            say(f"  {check.describe()}")
+
     # Stage 5: table-model generation -> the combined model.
     with ledger.timed("table model generation"):
         # Smooth the per-point variation estimates along the front: the
@@ -290,5 +356,6 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         mc_samples=mc_samples,
         variation=variation,
         model=model,
+        corner_check=corner_check,
         ledger=ledger,
     )

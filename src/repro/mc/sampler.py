@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["stream", "child_streams", "latin_hypercube_normal"]
+__all__ = ["stream", "child_streams", "latin_hypercube_normal", "erf"]
 
 
 def _key_to_int(key: str) -> int:
@@ -133,9 +133,89 @@ def _probit(p: np.ndarray) -> np.ndarray:
                      / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
                          + b[4]) * r + 1.0))
 
-    # One Newton step against the exact CDF for ~1e-12 accuracy.
-    from math import erf
-    erf_vec = np.vectorize(erf)
-    cdf = 0.5 * (1.0 + erf_vec(x / np.sqrt(2.0)))
+    # One Newton step against the exact CDF for ~1e-12 accuracy.  The
+    # fully vectorised erf matters: this polish sits on the hot path of
+    # every stratified draw, and a `np.vectorize(math.erf)` round-trip
+    # through Python objects costs ~100x the rational evaluation.
+    cdf = 0.5 * (1.0 + erf(x / np.sqrt(2.0)))
     pdf = np.exp(-0.5 * x * x) / np.sqrt(2.0 * np.pi)
     return x - (cdf - p) / np.maximum(pdf, 1e-300)
+
+
+# Cody's rational-Chebyshev erf/erfc coefficients (W. J. Cody, "Rational
+# Chebyshev approximation for the error function", Math. Comp. 23, 1969)
+# -- the classic scipy-free double-precision implementation.
+_ERF_A = (3.16112374387056560e00, 1.13864154151050156e02,
+          3.77485237685302021e02, 3.20937758913846947e03,
+          1.85777706184603153e-1)
+_ERF_B = (2.36012909523441209e01, 2.44024637934444173e02,
+          1.28261652607737228e03, 2.84423683343917062e03)
+_ERF_C = (5.64188496988670089e-1, 8.88314979438837594e00,
+          6.61191906371416295e01, 2.98635138197400131e02,
+          8.81952221241769090e02, 1.71204761263407058e03,
+          2.05107837782607147e03, 1.23033935479799725e03,
+          2.15311535474403846e-8)
+_ERF_D = (1.57449261107098347e01, 1.17693950891312499e02,
+          5.37181101862009858e02, 1.62138957456669019e03,
+          3.29079923573345963e03, 4.36261909014324716e03,
+          3.43936767414372164e03, 1.23033935480374942e03)
+_ERF_P = (3.05326634961232344e-1, 3.60344899949804439e-1,
+          1.25781726111229246e-1, 1.60837851487422766e-2,
+          6.58749161529837803e-4, 1.63153871373020978e-2)
+_ERF_Q = (2.56852019228982242e00, 1.87295284992346047e00,
+          5.27905102951428412e-1, 6.05183413124413191e-2,
+          2.33520497626869185e-3)
+
+_SQRT_INV_PI = 5.6418958354775628695e-1  # 1/sqrt(pi)
+
+
+def erf(x) -> np.ndarray:
+    """Vectorised double-precision error function (Cody's algorithm).
+
+    Matches :func:`math.erf` to ~1e-16 elementwise while staying inside
+    NumPy (no Python-level loop) -- the building block of the sampler's
+    probit polish and anything else needing normal CDFs on arrays.
+    """
+    x = np.asarray(x, dtype=float)
+    ax = np.abs(x)
+    # NaN lanes fall into none of the branch masks and must propagate.
+    result = np.full_like(ax, np.nan)
+
+    # |x| <= 0.46875: erf via the central rational approximation.
+    centre = ax <= 0.46875
+    if np.any(centre):
+        z = ax[centre] ** 2
+        num = _ERF_A[4] * z
+        den = z
+        for a_i, b_i in zip(_ERF_A[:3], _ERF_B[:3]):
+            num = (num + a_i) * z
+            den = (den + b_i) * z
+        result[centre] = ax[centre] * (num + _ERF_A[3]) / (den + _ERF_B[3])
+
+    # 0.46875 < |x| <= 4: erfc via the mid-range approximation.
+    mid = (ax > 0.46875) & (ax <= 4.0)
+    if np.any(mid):
+        y = ax[mid]
+        num = _ERF_C[8] * y
+        den = y
+        for c_i, d_i in zip(_ERF_C[:7], _ERF_D[:7]):
+            num = (num + c_i) * y
+            den = (den + d_i) * y
+        erfc = np.exp(-y * y) * (num + _ERF_C[7]) / (den + _ERF_D[7])
+        result[mid] = 1.0 - erfc
+
+    # |x| > 4: erfc via the asymptotic expansion.
+    tail = ax > 4.0
+    if np.any(tail):
+        y = ax[tail]
+        z = 1.0 / (y * y)
+        num = _ERF_P[5] * z
+        den = z
+        for p_i, q_i in zip(_ERF_P[:4], _ERF_Q[:4]):
+            num = (num + p_i) * z
+            den = (den + q_i) * z
+        poly = z * (num + _ERF_P[4]) / (den + _ERF_Q[4])
+        erfc = np.exp(-y * y) * (_SQRT_INV_PI - poly) / y
+        result[tail] = 1.0 - erfc
+
+    return np.copysign(result, x)

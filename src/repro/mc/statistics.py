@@ -72,17 +72,25 @@ def cpk(samples, *, lower: float | None = None,
     ``Cpk = min((USL - mean), (mean - LSL)) / (3*std)``; one-sided specs
     use only their side.  Cpk >= 1 corresponds to a 3-sigma guard band --
     the paper's implicit yield criterion.
+
+    A zero-spread (degenerate) population is judged by its mean alone:
+    ``+inf`` strictly inside the limits, ``-inf`` outside (a population
+    sitting wholly beyond a limit is maximally *in*capable, not
+    perfectly capable), and ``0.0`` exactly on a limit.
     """
     if lower is None and upper is None:
         raise ValueError("need at least one specification limit")
     samples = np.asarray(samples, dtype=float).reshape(-1)
     mean = float(np.mean(samples))
     std = float(np.std(samples, ddof=1))
-    if std == 0.0:
-        return float("inf")
-    candidates = []
+    margins = []
     if upper is not None:
-        candidates.append((upper - mean) / (3.0 * std))
+        margins.append(upper - mean)
     if lower is not None:
-        candidates.append((mean - lower) / (3.0 * std))
-    return min(candidates)
+        margins.append(mean - lower)
+    worst = min(margins)
+    if std == 0.0:
+        if worst == 0.0:
+            return 0.0
+        return float("inf") if worst > 0.0 else float("-inf")
+    return worst / (3.0 * std)

@@ -32,6 +32,9 @@ from .mismatch import MismatchModel
 
 __all__ = ["CornerDef", "GlobalVariation", "ProcessSample", "ProcessKit"]
 
+#: 0 degrees Celsius in Kelvin (temperatures cross the API in Celsius).
+_ZERO_CELSIUS_K = 273.15
+
 
 @dataclass(frozen=True)
 class CornerDef:
@@ -91,18 +94,34 @@ class ProcessSample:
         :meth:`device_variation` consumes fresh randoms, so circuit
         builders must instantiate devices in a deterministic order for
         bit-reproducibility (all builders in :mod:`repro.designs` do).
+    vdd:
+        Optional per-lane supply voltage [V].  ``None`` (the default)
+        means "use the kit's nominal supply"; circuit builders consult
+        this when stamping their supply sources, which is how a PVT sweep
+        batches several VDD values into one stacked solve.
+    temp_k:
+        Optional per-lane junction temperature [K].  ``None`` means the
+        model cards' nominal temperature; otherwise
+        :meth:`device_variation` folds the first-order temperature model
+        (:meth:`~repro.circuit.mosfet.MOSModel.temperature_shift`) into
+        every device's ``(delta_vto, beta_scale)``.
     """
 
     def __init__(self, size: int, *, dvto_n, kp_scale_n, dvto_p, kp_scale_p,
                  cap_scale=1.0,
                  mismatch: MismatchModel | None = None,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 vdd=None, temp_k=None) -> None:
         self.size = int(size)
         self.dvto_n = np.broadcast_to(np.asarray(dvto_n, float), (size,))
         self.kp_scale_n = np.broadcast_to(np.asarray(kp_scale_n, float), (size,))
         self.dvto_p = np.broadcast_to(np.asarray(dvto_p, float), (size,))
         self.kp_scale_p = np.broadcast_to(np.asarray(kp_scale_p, float), (size,))
         self.cap_scale = np.broadcast_to(np.asarray(cap_scale, float), (size,))
+        self.vdd = None if vdd is None else \
+            np.broadcast_to(np.asarray(vdd, float), (size,))
+        self.temp_k = None if temp_k is None else \
+            np.broadcast_to(np.asarray(temp_k, float), (size,))
         self.mismatch = mismatch
         self.rng = rng
         if mismatch is not None and rng is None:
@@ -116,12 +135,41 @@ class ProcessSample:
         return cls(size, dvto_n=zeros, kp_scale_n=ones,
                    dvto_p=zeros, kp_scale_p=ones)
 
+    def _rebuild(self, size: int, transform) -> "ProcessSample":
+        """A derived deterministic sample with every lane array mapped
+        through ``transform`` (mismatch streams cannot be re-sliced)."""
+        if self.mismatch is not None:
+            raise ReproError(
+                "cannot derive lanes from a sample with live mismatch "
+                "(the per-device stream is not sliceable)")
+        optional = {
+            "vdd": None if self.vdd is None else transform(self.vdd),
+            "temp_k": None if self.temp_k is None else transform(self.temp_k),
+        }
+        return ProcessSample(
+            size,
+            dvto_n=transform(self.dvto_n), kp_scale_n=transform(self.kp_scale_n),
+            dvto_p=transform(self.dvto_p), kp_scale_p=transform(self.kp_scale_p),
+            cap_scale=transform(self.cap_scale), **optional)
+
+    def lanes(self, start: int, stop: int) -> "ProcessSample":
+        """The deterministic sub-sample of lanes ``[start, stop)``
+        (chunked corner sweeps slice one grid realisation this way)."""
+        return self._rebuild(stop - start, lambda a: a[start:stop])
+
+    def tiled(self, repeats: int) -> "ProcessSample":
+        """The whole lane block repeated ``repeats`` times
+        (grid x design-point sweeps tile one realisation per point)."""
+        return self._rebuild(self.size * repeats,
+                             lambda a: np.tile(a, repeats))
+
     def device_variation(self, model: MOSModel, w, l
                          ) -> tuple[np.ndarray, np.ndarray]:
         """Per-device ``(delta_vto, beta_scale)`` arrays of shape ``(B,)``.
 
         Combines the die-level global shift (shared by all devices of the
-        polarity) with a fresh Pelgrom mismatch draw for this device's gate
+        polarity) with the lane's temperature shift (when ``temp_k`` is
+        set) and a fresh Pelgrom mismatch draw for this device's gate
         area.
         """
         if model.polarity == "n":
@@ -130,6 +178,10 @@ class ProcessSample:
         else:
             dvto = self.dvto_p.copy()
             beta_scale = self.kp_scale_p.copy()
+        if self.temp_k is not None:
+            dvt_temp, kp_temp = model.temperature_shift(self.temp_k)
+            dvto = dvto + dvt_temp
+            beta_scale = beta_scale * kp_temp
         if self.mismatch is not None:
             leff = np.asarray(l, float) - 2.0 * model.ld
             area = np.asarray(w, float) * leff
@@ -165,18 +217,73 @@ class ProcessKit:
         """Model cards keyed by SPICE model name (for the parser)."""
         return {self.nmos.name: self.nmos, self.pmos.name: self.pmos}
 
-    def corner_sample(self, corner: str) -> ProcessSample:
-        """The deterministic :class:`ProcessSample` of a named corner."""
+    def corner_def(self, corner: str) -> CornerDef:
+        """Look up a :class:`CornerDef` by (case-insensitive) name."""
         try:
-            c = self.corners[corner.lower()]
+            return self.corners[corner.lower()]
         except KeyError:
             known = ", ".join(sorted(self.corners))
             raise ReproError(
                 f"unknown corner {corner!r} (known: {known})") from None
+
+    def corner_sample(self, corner: str, *, vdd: float | None = None,
+                      temp_c: float | None = None) -> ProcessSample:
+        """The deterministic :class:`ProcessSample` of a named corner.
+
+        ``vdd`` and ``temp_c`` optionally pin the environmental axes of
+        the PVT space (supply voltage [V], temperature [deg C]); left as
+        ``None`` they mean "nominal supply / model-card temperature".
+        """
+        c = self.corner_def(corner)
         return ProcessSample(
             1, dvto_n=c.dvto_n, kp_scale_n=c.kp_scale_n,
             dvto_p=c.dvto_p, kp_scale_p=c.kp_scale_p,
-            cap_scale=c.cap_scale)
+            cap_scale=c.cap_scale, vdd=vdd,
+            temp_k=None if temp_c is None else temp_c + _ZERO_CELSIUS_K)
+
+    def pvt_sample(self, corners, vdds=None, temps_c=None) -> ProcessSample:
+        """One stacked :class:`ProcessSample` covering a full PVT grid.
+
+        Lanes enumerate ``corners x vdds x temps_c`` in corner-major
+        (``itertools.product``) order, so a grid of 5 corners, 3 supplies
+        and 3 temperatures yields a 45-lane sample that one batched MNA
+        solve evaluates in a single stacked factorisation.
+
+        Parameters
+        ----------
+        corners:
+            Iterable of corner names (see :attr:`corners`).
+        vdds:
+            Supply voltages [V]; ``None`` or empty means the nominal
+            :attr:`supply` only.
+        temps_c:
+            Junction temperatures [deg C]; ``None`` or empty means the
+            model cards' nominal temperature only.
+        """
+        corners = list(corners)
+        if not corners:
+            raise ReproError("pvt_sample needs at least one corner")
+        defs = [self.corner_def(name) for name in corners]
+        vdds = [float(v) for v in (vdds or [self.supply])]
+        temps_c = [float(t) for t in temps_c] if temps_c else [None]
+        n_env = len(vdds) * len(temps_c)
+        size = len(defs) * n_env
+
+        def per_corner(attr):
+            return np.repeat([getattr(c, attr) for c in defs], n_env)
+
+        vdd_lane = np.tile(np.repeat(vdds, len(temps_c)), len(defs))
+        if temps_c == [None]:
+            temp_lane = None
+        else:
+            temp_lane = np.tile(np.asarray(temps_c, float) + _ZERO_CELSIUS_K,
+                                len(defs) * len(vdds))
+        return ProcessSample(
+            size,
+            dvto_n=per_corner("dvto_n"), kp_scale_n=per_corner("kp_scale_n"),
+            dvto_p=per_corner("dvto_p"), kp_scale_p=per_corner("kp_scale_p"),
+            cap_scale=per_corner("cap_scale"),
+            vdd=vdd_lane, temp_k=temp_lane)
 
     def sample(self, size: int, rng: np.random.Generator, *,
                include_global: bool = True,

@@ -1,5 +1,6 @@
 """The paper's combined performance + variation yield model."""
 
+from .cornercheck import CornerMCCheck, compare_corners_to_mc
 from .estimator import (YieldEstimate, estimate_yield, normal_interval,
                         wilson_interval, z_value)
 from .importance import (ImportanceSamplingConfig, ImportanceSamplingEstimate,
@@ -10,6 +11,7 @@ from .variation import (DEFAULT_K_SIGMA, smooth_along_front,
                         variation_columns, variation_percent)
 
 __all__ = [
+    "CornerMCCheck", "compare_corners_to_mc",
     "YieldEstimate", "estimate_yield", "wilson_interval", "normal_interval",
     "z_value",
     "ImportanceSamplingConfig", "ImportanceSamplingEstimate",

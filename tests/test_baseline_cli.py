@@ -82,3 +82,29 @@ class TestCLI:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_corner_flags_parse(self):
+        from repro.cli import build_parser
+        # The '=' form is required for a leading-negative temperature
+        # list (argparse would read a bare '-40,...' as an option).
+        args = build_parser().parse_args(
+            ["build", "--corners", "tm,ws", "--vdd", "3.0,3.6",
+             "--temp=-40,27,125"])
+        assert args.corners == "tm,ws"
+        assert args.vdd == "3.0,3.6"
+        assert args.temp == "-40,27,125"
+
+    def test_corner_build_and_artifacts(self, tmp_path, capsys):
+        assert main(["build", "--reduced", "--corners", "tm",
+                     "--vdd", "3.3", "--temp", "27",
+                     "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "corner verification" in out
+        assert "designs passing" in out
+        assert (tmp_path / "corner_margins.txt").exists()
+
+    def test_bad_corner_flags_fail_fast(self, capsys):
+        assert main(["build", "--reduced", "--corners", "bogus"]) == 2
+        assert "unknown corner" in capsys.readouterr().err
+        assert main(["build", "--reduced", "--vdd", "3.3;x"]) == 2
+        assert "--vdd" in capsys.readouterr().err

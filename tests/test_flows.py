@@ -202,6 +202,38 @@ class TestFilterFlow:
         assert verification.simulations == 150
 
 
+class TestSelectCapacitors:
+    """Regression tests for the feasibility/guard mismatch in
+    _select_capacitors (IndexError on an exactly-zero best margin)."""
+
+    ARGS = dict(ota_gain_db=55.0, ota_ro=2.0e6,
+                parasitic_pole_hz=50e6, cap_corner_scale=0.12)
+
+    def _select(self, front_unit, front_obj):
+        from repro.designs.filter2 import FilterSpec
+        from repro.flow.filter_flow import _select_capacitors
+        return _select_capacitors(np.asarray(front_unit),
+                                  np.asarray(front_obj),
+                                  spec=FilterSpec(), **self.ARGS)
+
+    def test_zero_best_margin_returns_best_nominal(self):
+        # Used to raise IndexError: the guard tested `< 0` while the
+        # feasibility filter demanded `> 0`, so a front whose best
+        # worst-margin is exactly 0 produced an empty candidate list.
+        chosen = self._select([[0.5, 0.5, 0.5]], [[0.0, 0.4]])
+        assert chosen == 0
+
+    def test_zero_margin_candidate_ranked_by_worst_margin(self):
+        front_obj = [[0.0, 0.4], [0.2, 0.3]]
+        front_unit = [[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]]
+        assert self._select(front_unit, front_obj) in (0, 1)
+
+    def test_negative_best_margin_still_raises(self):
+        from repro.errors import YieldModelError
+        with pytest.raises(YieldModelError, match="no capacitor choice"):
+            self._select([[0.5, 0.5, 0.5]], [[-0.1, 0.4]])
+
+
 class TestAccounting:
     def test_ledger_math(self):
         ledger = SimulationLedger()

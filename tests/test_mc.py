@@ -59,6 +59,37 @@ class TestLatinHypercube:
             latin_hypercube_normal(rng, 0, 1)
 
 
+class TestErf:
+    def test_matches_math_erf_to_machine_precision(self):
+        import math
+        from repro.mc.sampler import erf
+        xs = np.concatenate([
+            np.linspace(-8.0, 8.0, 20001),
+            [0.0, 0.46875, -0.46875, 4.0, -4.0, 1e-300, 30.0, -30.0],
+        ])
+        reference = np.array([math.erf(v) for v in xs])
+        np.testing.assert_allclose(erf(xs), reference, rtol=0, atol=5e-16)
+
+    def test_scalar_and_shape_preserving(self):
+        from repro.mc.sampler import erf
+        assert erf(0.0) == 0.0
+        assert erf(np.zeros((3, 2))).shape == (3, 2)
+
+    def test_nan_and_inf_propagate(self):
+        from repro.mc.sampler import erf
+        out = erf(np.array([np.nan, np.inf, -np.inf]))
+        assert np.isnan(out[0])
+        assert out[1] == 1.0 and out[2] == -1.0
+
+    def test_probit_roundtrip(self):
+        from repro.mc.sampler import _probit, erf
+        p = np.linspace(1e-9, 1 - 1e-9, 10001)
+        x = _probit(p)
+        back = 0.5 * (1.0 + erf(x / np.sqrt(2.0)))
+        np.testing.assert_allclose(back, p, rtol=0, atol=1e-12)
+        assert np.all(np.diff(x) > 0)  # strictly monotone
+
+
 class TestStatistics:
     def test_summarize(self):
         data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
@@ -98,8 +129,18 @@ class TestStatistics:
         with pytest.raises(ValueError):
             cpk([1.0, 2.0])
 
-    def test_cpk_zero_std(self):
+    def test_cpk_zero_std_capable(self):
         assert cpk([5.0, 5.0, 5.0], lower=0.0) == np.inf
+
+    def test_cpk_zero_std_violating_is_not_capable(self):
+        # Regression: a degenerate population sitting beyond a limit used
+        # to report +inf ("perfectly capable"); it must report -inf.
+        assert cpk([5.0, 5.0, 5.0], upper=4.0) == -np.inf
+        assert cpk([5.0, 5.0, 5.0], lower=6.0) == -np.inf
+        assert cpk([5.0, 5.0, 5.0], lower=0.0, upper=4.0) == -np.inf
+
+    def test_cpk_zero_std_on_the_limit(self):
+        assert cpk([5.0, 5.0, 5.0], upper=5.0) == 0.0
 
 
 class TestEngineSingle:
