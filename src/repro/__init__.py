@@ -26,15 +26,15 @@ per-table/figure reproduction harness.
 
 from .errors import (AnalysisError, ConvergenceError, ExtrapolationError,
                      NetlistError, OptimizationError, ParseError, ReproError,
-                     SingularMatrixError, SpecificationError, TableModelError,
-                     YieldModelError)
+                     SingularMatrixError, SpecificationError, SurrogateError,
+                     TableModelError, YieldModelError)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError", "ConvergenceError", "ExtrapolationError",
     "NetlistError", "OptimizationError", "ParseError", "ReproError",
-    "SingularMatrixError", "SpecificationError", "TableModelError",
-    "YieldModelError",
+    "SingularMatrixError", "SpecificationError", "SurrogateError",
+    "TableModelError", "YieldModelError",
     "__version__",
 ]

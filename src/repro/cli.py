@@ -64,11 +64,18 @@ def _cmd_build(args) -> int:
         config = dataclasses.replace(config, mc_backend=args.backend)
     if args.workers:
         config = dataclasses.replace(config, mc_workers=args.workers)
+    if args.surrogate_budget < 0:
+        print("error: --surrogate-budget must be >= 0", file=sys.stderr)
+        return 2
+    budget = args.surrogate_budget
+    if args.surrogate and not budget:
+        budget = 96  # the default seed-batch size of repro.surrogate
     try:
         config = dataclasses.replace(
             config, corners=args.corners,
             corner_vdds=_parse_floats(args.vdd, "--vdd"),
-            corner_temps=_parse_floats(args.temp, "--temp"))
+            corner_temps=_parse_floats(args.temp, "--temp"),
+            surrogate_budget=budget)
         config.corner_grid(C35)  # fail fast on unknown corner names
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -160,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "corner sweep (default: -40,27,125); use the "
                             "'--temp=-40,27,125' form for lists starting "
                             "with a negative value")
+    build.add_argument("--surrogate", action="store_true",
+                       help="train a process-space surrogate bundle of the "
+                            "mid-front design and save it with the "
+                            "artefacts (surrogate_model.npz)")
+    build.add_argument("--surrogate-budget", type=int, default=0,
+                       help="simulator budget of the surrogate training "
+                            "stage (implies --surrogate; default 96 when "
+                            "--surrogate is given)")
     build.set_defaults(func=_cmd_build)
 
     target = sub.add_parser("target", help="yield-target a specification")

@@ -104,3 +104,14 @@ class SpecificationError(ReproError):
 
 class YieldModelError(ReproError):
     """The combined performance/variation model failed to build or query."""
+
+
+class SurrogateError(YieldModelError):
+    """A surrogate metamodel is unfit for the requested estimate.
+
+    Raised by :class:`repro.surrogate.SurrogateYieldEstimator` when the
+    cross-validation error of a trained response surface exceeds the
+    configured threshold: the estimator *refuses to report* a yield
+    number rather than silently returning one built on a model that
+    cannot predict the performances it classifies.
+    """

@@ -12,6 +12,9 @@ exactly that artefact set for a finished
 * ``ota_yield_model.va`` -- the generated Verilog-A module;
 * ``corner_margins.txt`` -- the PVT corner-verification spec-margin
   table (when the corner stage ran);
+* ``surrogate_model.npz`` -- the trained process-space surrogate bundle
+  of the reference design (when the surrogate stage ran), reloadable
+  with :func:`repro.surrogate.load_surrogates`;
 * ``flow_result.npz`` + ``flow_summary.json`` -- full numeric state
   (including per-corner performance arrays), so a flow run can be
   reloaded without re-simulating.
@@ -31,6 +34,7 @@ import numpy as np
 
 from ..behavioral.codegen import write_verilog_a_package
 from ..designs.ota import OTA_DESIGN_SPACE
+from ..surrogate import save_surrogates
 from ..tablemodel.pareto_table import ParetoTableModel
 from ..yieldmodel.targeting import CombinedYieldModel
 
@@ -76,6 +80,11 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
         table_path = directory / "corner_margins.txt"
         table_path.write_text(corner_check.summary_table() + "\n")
         written["corner_margins"] = table_path
+    surrogate = getattr(result, "surrogate", None)
+    if surrogate is not None:
+        written["surrogate"] = save_surrogates(
+            surrogate, directory / "surrogate_model.npz")
+        arrays["surrogate_reference"] = result.surrogate_reference
     npz_path = directory / "flow_result.npz"
     np.savez_compressed(npz_path, **arrays)
     written["arrays"] = npz_path
@@ -102,6 +111,15 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
             "mc_bounded_fraction": {
                 name: check.bounded_fraction
                 for name, check in corner_check.mc_check.items()},
+        }
+    if surrogate is not None:
+        summary["surrogate"] = {
+            "kind": surrogate.kind,
+            "n_train": int(surrogate.n_train),
+            "cv_errors": {name: float(err)
+                          for name, err in surrogate.cv_errors.items()},
+            "reference_parameters": [float(v)
+                                     for v in result.surrogate_reference],
         }
     json_path = directory / "flow_summary.json"
     json_path.write_text(json.dumps(summary, indent=2))

@@ -17,6 +17,11 @@
 5. **Table-model generation** -- performance + variation tables
    (section 3.5) assembled into a
    :class:`~repro.yieldmodel.targeting.CombinedYieldModel`.
+6. **Surrogate training** (optional, ``surrogate_budget > 0``) -- a
+   process-space response-surface bundle (:mod:`repro.surrogate`) of the
+   mid-front reference design, trained through the same execution
+   backends and persisted with the artefacts so later yield campaigns
+   can run at polynomial cost.
 
 Costs are tracked in a :class:`~repro.flow.accounting.SimulationLedger`
 so Table 5 and the conventional-flow comparison can be regenerated.
@@ -39,6 +44,7 @@ from ..measure.specs import Spec, SpecSet
 from ..moo.ga import GAConfig
 from ..moo.wbga import WBGAResult, run_wbga
 from ..process import C35, ProcessKit
+from ..surrogate import train_surrogates
 from ..tablemodel.pareto_table import ParetoTableModel
 from ..yieldmodel.targeting import CombinedYieldModel
 from ..yieldmodel.variation import DEFAULT_K_SIGMA, variation_columns
@@ -79,6 +85,12 @@ class FlowConfig:
     #: paper's section-5 OTA requirement).
     corner_spec_gain_db: float = 50.0
     corner_spec_pm_deg: float = 60.0
+    #: Simulator budget of the optional surrogate-training stage
+    #: (stage 6); 0 disables the stage entirely.
+    surrogate_budget: int = 0
+    #: Surrogate model family when the stage runs
+    #: (:data:`repro.surrogate.SURROGATE_KINDS`).
+    surrogate_kind: str = "quadratic"
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.population,
@@ -135,6 +147,13 @@ class FlowResult:
         Per-corner verification of the whole front
         (:class:`~repro.corners.CornerVerification`), or ``None`` when
         the stage was disabled (``config.corners == "none"``).
+    surrogate:
+        Trained process-space surrogate bundle of the reference design
+        (:class:`repro.surrogate.SurrogateBundle`), or ``None`` when the
+        stage was disabled (``config.surrogate_budget == 0``).
+    surrogate_reference:
+        Natural-unit design parameters the surrogate was trained at
+        (the mid-front point), shape ``(8,)``; ``None`` when disabled.
     ledger:
         Simulation/time accounting for the Table-5 comparison.
     """
@@ -150,6 +169,8 @@ class FlowResult:
     variation: dict[str, np.ndarray]
     model: CombinedYieldModel
     corner_check: CornerVerification | None = None
+    surrogate: object | None = None
+    surrogate_reference: np.ndarray | None = None
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -345,6 +366,33 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         model = CombinedYieldModel(table, OTA_DESIGN_SPACE.names)
     say("combined performance + variation model ready")
 
+    # Stage 6 (optional): train a process-space surrogate of the
+    # mid-front reference design and carry it into the artefacts.
+    surrogate = None
+    surrogate_reference = None
+    if config.surrogate_budget > 0:
+        reference = natural_params[k_points // 2]
+        say(f"surrogate training: {config.surrogate_budget} samples "
+            f"({config.surrogate_kind}) at the mid-front design")
+
+        def surrogate_evaluator(die_sample):
+            tiled = OTAParameters.from_array(
+                np.repeat(reference[None, :], die_sample.size, axis=0))
+            performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
+                                       cl=config.cl, ibias=config.ibias)
+            return {"gain_db": performance["gain_db"],
+                    "pm_deg": performance["pm_deg"]}
+
+        with ledger.timed("surrogate training", config.surrogate_budget):
+            surrogate = train_surrogates(
+                surrogate_evaluator, pdk, n_train=config.surrogate_budget,
+                seed=config.seed, kind=config.surrogate_kind,
+                backend=config.mc_backend, workers=config.mc_workers,
+                chunk_lanes=config.mc_chunk_lanes)
+        surrogate_reference = reference
+        for line in surrogate.describe().splitlines():
+            say(f"  {line}")
+
     return FlowResult(
         config=config,
         pdk_name=pdk.name,
@@ -357,5 +405,7 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         variation=variation,
         model=model,
         corner_check=corner_check,
+        surrogate=surrogate,
+        surrogate_reference=surrogate_reference,
         ledger=ledger,
     )

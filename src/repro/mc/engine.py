@@ -13,8 +13,11 @@ Two entry points:
   are swept.
 
 Both consume evaluator callables rather than circuits, so the same engine
-drives transistor-level OTAs, behavioural filters, or plain functions in
-tests.
+drives transistor-level OTAs, behavioural filters, plain functions in
+tests -- or a trained surrogate bundle
+(:meth:`repro.surrogate.SurrogateBundle.as_evaluator`), which swaps every
+stacked MNA solve for a polynomial evaluation without touching the
+engine.
 
 Chunking, seeding, and parallelism
 ----------------------------------

@@ -2,10 +2,12 @@
 
 from .c35 import C35, make_c35
 from .mismatch import MismatchModel
-from .pdk import CornerDef, GlobalVariation, ProcessKit, ProcessSample
+from .pdk import (GLOBAL_DIMS, CornerDef, GlobalVariation, ProcessKit,
+                  ProcessSample)
 
 __all__ = [
     "C35", "make_c35",
     "MismatchModel",
-    "CornerDef", "GlobalVariation", "ProcessKit", "ProcessSample",
+    "GLOBAL_DIMS", "CornerDef", "GlobalVariation", "ProcessKit",
+    "ProcessSample",
 ]

@@ -30,7 +30,14 @@ from ..circuit.mosfet import MOSModel
 from ..errors import ReproError
 from .mismatch import MismatchModel
 
-__all__ = ["CornerDef", "GlobalVariation", "ProcessSample", "ProcessKit"]
+__all__ = ["GLOBAL_DIMS", "CornerDef", "GlobalVariation", "ProcessSample",
+           "ProcessKit"]
+
+#: Canonical order of the global (inter-die) statistical dimensions in
+#: every sigma-unit coordinate vector (:meth:`ProcessKit.sample_from_sigma`,
+#: :meth:`ProcessKit.sigma_coordinates`, the importance-sampling shift
+#: vectors, and the surrogate feature space all share it).
+GLOBAL_DIMS = ("dvto_n", "kp_n", "dvto_p", "kp_p", "cap")
 
 #: 0 degrees Celsius in Kelvin (temperatures cross the API in Celsius).
 _ZERO_CELSIUS_K = 273.15
@@ -284,6 +291,73 @@ class ProcessKit:
             dvto_p=per_corner("dvto_p"), kp_scale_p=per_corner("kp_scale_p"),
             cap_scale=per_corner("cap_scale"),
             vdd=vdd_lane, temp_k=temp_lane)
+
+    def global_sigmas(self) -> np.ndarray:
+        """1-sigma scales of the global parameters, :data:`GLOBAL_DIMS` order."""
+        gv = self.global_variation
+        return np.array([gv.sigma_vto_n, gv.sigma_kp_n, gv.sigma_vto_p,
+                         gv.sigma_kp_p, gv.sigma_cap])
+
+    def sample_from_sigma(self, x, *, rng: np.random.Generator | None = None,
+                          include_mismatch: bool = False) -> ProcessSample:
+        """Die realisations at explicit sigma-unit global coordinates.
+
+        The deterministic counterpart of :meth:`sample`: instead of
+        drawing the global parameters internally, the caller supplies
+        them as standard-normal-frame coordinates ``x`` of shape
+        ``(B, len(GLOBAL_DIMS))`` (:data:`GLOBAL_DIMS` order).  This is
+        the entry point of every estimator that *controls* the sampling
+        plan -- the importance sampler's shifted proposal, the surrogate
+        trainer's Latin-hypercube seed batch -- while sharing one
+        definition of the sigma -> natural-unit map, including the
+        -4-sigma positivity clip on the relative current-factor and
+        capacitance deviates.
+
+        Parameters
+        ----------
+        x:
+            Sigma-unit coordinates, shape ``(B, 5)`` (a single ``(5,)``
+            vector is promoted to one lane).
+        rng, include_mismatch:
+            As in :meth:`sample`; local (Pelgrom) mismatch stays an
+            internal draw because it is per-device, not per-die.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != len(GLOBAL_DIMS):
+            raise ReproError(
+                f"sigma coordinates must have shape (B, {len(GLOBAL_DIMS)}), "
+                f"got {x.shape}")
+        sig = self.global_sigmas()
+        return ProcessSample(
+            x.shape[0],
+            dvto_n=x[:, 0] * sig[0],
+            kp_scale_n=1.0 + np.clip(x[:, 1] * sig[1], -4.0 * sig[1], None),
+            dvto_p=x[:, 2] * sig[2],
+            kp_scale_p=1.0 + np.clip(x[:, 3] * sig[3], -4.0 * sig[3], None),
+            cap_scale=1.0 + np.clip(x[:, 4] * sig[4], -4.0 * sig[4], None),
+            mismatch=self.mismatch if include_mismatch else None,
+            rng=rng if include_mismatch else None)
+
+    def sigma_coordinates(self, sample: ProcessSample) -> np.ndarray:
+        """Sigma-unit global coordinates of a sample, shape ``(B, 5)``.
+
+        Inverse of :meth:`sample_from_sigma` (and of the global part of
+        :meth:`sample`) up to the -4-sigma positivity clip: a relative
+        deviate that was clipped (probability ~3e-5 per dimension) maps
+        back to exactly -4, not to its pre-clip value.  Mismatch is
+        per-device state and has no die-level coordinate; it simply does
+        not appear.
+        """
+        sig = self.global_sigmas()
+        return np.stack([
+            sample.dvto_n / sig[0],
+            (sample.kp_scale_n - 1.0) / sig[1],
+            sample.dvto_p / sig[2],
+            (sample.kp_scale_p - 1.0) / sig[3],
+            (sample.cap_scale - 1.0) / sig[4],
+        ], axis=1)
 
     def sample(self, size: int, rng: np.random.Generator, *,
                include_global: bool = True,

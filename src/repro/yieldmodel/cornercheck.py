@@ -55,6 +55,7 @@ class CornerMCCheck:
         return float(np.count_nonzero(self.bounded)) / self.bounded.size
 
     def describe(self) -> str:
+        """One-line bounded-fraction summary for reports."""
         return (f"{self.name}: corners bound the {self.k_sigma:g}-sigma MC "
                 f"spread on {np.count_nonzero(self.bounded)}/"
                 f"{self.bounded.size} designs "

@@ -112,6 +112,7 @@ class YieldEstimate:
 
     @property
     def percent(self) -> float:
+        """Point estimate of the yield in percent."""
         return 100.0 * self.fraction
 
     @property
@@ -120,6 +121,7 @@ class YieldEstimate:
         return wilson_interval(self.passed, self.total, self.confidence)
 
     def describe(self) -> str:
+        """Multi-line report: overall yield, CI, per-spec pass counts."""
         lo, hi = self.interval
         parts = [f"yield {self.passed}/{self.total} = {self.percent:.2f}% "
                  f"(Wilson {self.confidence:.0%} CI: "

@@ -46,23 +46,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mc.sampler import stream
-from ..process.pdk import ProcessKit, ProcessSample
+from ..process.pdk import GLOBAL_DIMS, ProcessKit, ProcessSample
 from .estimator import YieldEstimate, normal_interval
 from ..measure.specs import SpecSet
 
 __all__ = ["ImportanceSamplingConfig", "ImportanceSamplingEstimate",
            "estimate_yield_importance", "global_sigmas", "shifted_sample"]
 
-#: Order of the global-parameter dimensions in all shift/sigma vectors.
-GLOBAL_DIMS = ("dvto_n", "kp_n", "dvto_p", "kp_p", "cap")
-
 
 def global_sigmas(pdk: ProcessKit) -> np.ndarray:
     """1-sigma scales of the PDK's global parameters, :data:`GLOBAL_DIMS`
-    order."""
-    gv = pdk.global_variation
-    return np.array([gv.sigma_vto_n, gv.sigma_kp_n, gv.sigma_vto_p,
-                     gv.sigma_kp_p, gv.sigma_cap])
+    order (alias of :meth:`repro.process.ProcessKit.global_sigmas`)."""
+    return pdk.global_sigmas()
 
 
 @dataclass(frozen=True)
@@ -145,6 +140,7 @@ class ImportanceSamplingEstimate:
 
     @property
     def percent(self) -> float:
+        """The importance-sampled yield estimate in percent."""
         return 100.0 * self.yield_estimate
 
     def consistent_with(self, direct: YieldEstimate) -> bool:
@@ -159,6 +155,7 @@ class ImportanceSamplingEstimate:
         return lo_is <= hi_mc and lo_mc <= hi_is
 
     def describe(self) -> str:
+        """Multi-line report: estimate, CI, ESS, and proposal shift."""
         lo, hi = self.interval
         shift = ", ".join(f"{name}={value:+.2f}s"
                           for name, value in zip(GLOBAL_DIMS,
@@ -187,17 +184,8 @@ def _draw_shifted(pdk: ProcessKit, size: int, rng: np.random.Generator,
     # log[N(x;0,I)/N(x;mu,I)] = sum_j mu_j * (mu_j - 2 x_j) / 2
     log_weights = 0.5 * np.sum(shift * (shift - 2.0 * x), axis=1)
     weights = np.exp(log_weights)
-
-    sig = global_sigmas(pdk)
-    kp_n = 1.0 + np.clip(x[:, 1] * sig[1], -4.0 * sig[1], None)
-    kp_p = 1.0 + np.clip(x[:, 3] * sig[3], -4.0 * sig[3], None)
-    cap = 1.0 + np.clip(x[:, 4] * sig[4], -4.0 * sig[4], None)
-    sample = ProcessSample(
-        size,
-        dvto_n=x[:, 0] * sig[0], kp_scale_n=kp_n,
-        dvto_p=x[:, 2] * sig[2], kp_scale_p=kp_p, cap_scale=cap,
-        mismatch=pdk.mismatch if include_mismatch else None,
-        rng=rng if include_mismatch else None)
+    sample = pdk.sample_from_sigma(x, rng=rng,
+                                   include_mismatch=include_mismatch)
     return sample, weights, x
 
 

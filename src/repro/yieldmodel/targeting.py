@@ -123,6 +123,7 @@ class CombinedYieldModel:
     # -- naming helpers ---------------------------------------------------------
     @property
     def objective_names(self) -> tuple[str, ...]:
+        """The modelled objectives, key objective first."""
         return self.table.objective_names
 
     @property
@@ -131,6 +132,7 @@ class CombinedYieldModel:
         return tuple(name.split("_")[0] for name in self.objective_names)
 
     def variation_column(self, objective: str) -> str:
+        """Name of the variation column belonging to ``objective``."""
         return f"{objective}{self.variation_suffix}"
 
     # -- queries -----------------------------------------------------------------

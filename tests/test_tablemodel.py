@@ -189,3 +189,96 @@ class TestTblFiles:
             coords, values = read_table(path)
         np.testing.assert_array_equal(coords[:, 0], xs)
         np.testing.assert_array_equal(values, ys)
+
+
+class TestDatafileEdgeCases:
+    """Exhaustive `.tbl` edge cases: every comment prefix, blank-line
+    handling, and bit-exact ``%.17g`` round-trips of written files."""
+
+    @pytest.mark.parametrize("prefix", ["#", "*", "//"])
+    def test_each_comment_prefix_individually(self, prefix):
+        text = f"{prefix} leading comment\n1.0 2.0\n{prefix}{prefix} doubled\n3.0 4.0\n"
+        coords, values = read_table(text)
+        np.testing.assert_array_equal(coords[:, 0], [1.0, 3.0])
+        np.testing.assert_array_equal(values, [2.0, 4.0])
+
+    @pytest.mark.parametrize("prefix", ["#", "*", "//"])
+    def test_indented_comments_are_still_comments(self, prefix):
+        # Lines are stripped before the prefix check.
+        coords, values = read_table(f"   {prefix} indented\n\t1.0 2.0\n")
+        assert coords.shape == (1, 1)
+        np.testing.assert_array_equal(values, [2.0])
+
+    def test_comment_only_prefix_line(self):
+        # A bare prefix with no comment text is a comment, not data.
+        coords, values = read_table("#\n*\n//\n7.0 8.0\n")
+        assert coords.shape == (1, 1)
+        np.testing.assert_array_equal(values, [8.0])
+
+    def test_blank_and_whitespace_only_lines_skipped(self):
+        text = "\n   \n\t\n1.0 2.0\n\n \t \n3.0 4.0\n\n"
+        coords, values = read_table(text)
+        np.testing.assert_array_equal(coords[:, 0], [1.0, 3.0])
+        np.testing.assert_array_equal(values, [2.0, 4.0])
+
+    def test_all_prefixes_blanks_and_data_interleaved(self):
+        text = (
+            "# hash header\n"
+            "* star header\n"
+            "// slash header\n"
+            "\n"
+            "0.5 1.5\n"
+            "  * indented star\n"
+            "1.5 2.5\n"
+            "\t// indented slash\n"
+            "2.5 3.5\n"
+            "   \n"
+            "# trailing comment\n"
+        )
+        coords, values = read_table(text)
+        np.testing.assert_array_equal(coords[:, 0], [0.5, 1.5, 2.5])
+        np.testing.assert_array_equal(values, [1.5, 2.5, 3.5])
+
+    def test_written_file_round_trips_bit_exactly(self, tmp_path):
+        # Adversarial doubles: denormals, ulp-neighbours, huge/tiny
+        # magnitudes, negative zero.  %.17g must reproduce each bit
+        # pattern exactly through a write/read cycle.
+        values = np.array([
+            np.nextafter(1.0, 2.0),          # 1 + 1 ulp
+            np.nextafter(1.0, 0.0),          # 1 - 1 ulp
+            5e-324,                          # smallest denormal
+            np.finfo(float).tiny,            # smallest normal
+            np.finfo(float).max,
+            -np.finfo(float).max,
+            -0.0,
+            np.pi * 1e300,
+            1.0 / 3.0,
+            -2.0 ** -1074,
+        ])
+        coords = np.linspace(0.0, 1.0, values.size) + 1.0 / 7.0
+        path = tmp_path / "bits.tbl"
+        write_table(path, coords, values, header="bit exactness")
+        read_coords, read_values = read_table(path)
+        # Bit-for-bit: compare the raw IEEE-754 representations, which
+        # distinguishes -0.0 from 0.0 and every ulp step.
+        assert read_values.tobytes() == values.tobytes()
+        assert read_coords[:, 0].tobytes() == coords.tobytes()
+
+    def test_written_multicolumn_round_trips_bit_exactly(self, tmp_path):
+        rng = np.random.default_rng(13)
+        coords = rng.normal(size=(25, 3)) * 10.0 ** rng.integers(
+            -300, 300, size=(25, 3))
+        values = rng.normal(size=25) * 1e-200
+        path = tmp_path / "wide.tbl"
+        write_table(path, coords, values)
+        read_coords, read_values = read_table(path)
+        assert read_coords.tobytes() == coords.tobytes()
+        assert read_values.tobytes() == values.tobytes()
+
+    def test_written_header_lines_are_hash_comments(self, tmp_path):
+        path = tmp_path / "hdr.tbl"
+        write_table(path, [1.0], [2.0], header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")
+        coords, values = read_table(path)
+        assert coords.shape == (1, 1)
