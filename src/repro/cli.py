@@ -18,6 +18,7 @@ import argparse
 import dataclasses
 import sys
 
+from . import __version__
 from .designs.ota import OTA_DESIGN_SPACE
 from .errors import ReproError
 from .exec import resolve_backend
@@ -70,12 +71,21 @@ def _cmd_build(args) -> int:
     budget = args.surrogate_budget
     if args.surrogate and not budget:
         budget = 96  # the default seed-batch size of repro.surrogate
+    if not 0.0 < args.yield_target < 1.0:
+        print("error: --yield-target must lie in (0, 1)", file=sys.stderr)
+        return 2
+    if args.fidelity_budget < 0:
+        print("error: --fidelity-budget must be >= 0", file=sys.stderr)
+        return 2
     try:
         config = dataclasses.replace(
             config, corners=args.corners,
             corner_vdds=_parse_floats(args.vdd, "--vdd"),
             corner_temps=_parse_floats(args.temp, "--temp"),
-            surrogate_budget=budget)
+            surrogate_budget=budget,
+            yield_objective=args.yield_objective,
+            yield_target=args.yield_target,
+            fidelity_budget=args.fidelity_budget)
         config.corner_grid(C35)  # fail fast on unknown corner names
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -138,6 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-flow",
         description="Combined yield+performance behavioural modelling "
                     "(reproduction of Ali et al., DATE 2008)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     build = sub.add_parser("build", help="run the model-building flow")
@@ -175,6 +187,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulator budget of the surrogate training "
                             "stage (implies --surrogate; default 96 when "
                             "--surrogate is given)")
+    build.add_argument("--yield-objective", default="none",
+                       choices=["none", "yield", "ksigma", "chance"],
+                       help="stage-7 in-loop yield search mode: append a "
+                            "yield objective, a k-sigma robustness "
+                            "objective, or a chance-constraint penalty "
+                            "(default: none, stage disabled)")
+    build.add_argument("--yield-target", type=float, default=0.90,
+                       help="target yield of the stage-7 estimator-ladder "
+                            "escalation and chance penalty (default 0.90)")
+    build.add_argument("--fidelity-budget", type=int, default=0,
+                       help="simulator-call budget bounding the stage-7 "
+                            "ladder's escalation per search; the corner "
+                            "floor always runs and counts against it "
+                            "(default 0 = unlimited)")
     build.set_defaults(func=_cmd_build)
 
     target = sub.add_parser("target", help="yield-target a specification")

@@ -15,6 +15,10 @@ exactly that artefact set for a finished
 * ``surrogate_model.npz`` -- the trained process-space surrogate bundle
   of the reference design (when the surrogate stage ran), reloadable
   with :func:`repro.surrogate.load_surrogates`;
+* ``yield_front.txt`` / ``filter_yield_front.txt`` -- the stage-7
+  yield-annotated Pareto fronts (in-loop yield search on the OTA and
+  filter2 designs) with per-fidelity ladder accounting and the
+  comparison against the guard-banded reference (when stage 7 ran);
 * ``flow_result.npz`` + ``flow_summary.json`` -- full numeric state
   (including per-corner performance arrays), so a flow run can be
   reloaded without re-simulating.
@@ -34,11 +38,58 @@ import numpy as np
 
 from ..behavioral.codegen import write_verilog_a_package
 from ..designs.ota import OTA_DESIGN_SPACE
+from ..errors import YieldModelError
 from ..surrogate import save_surrogates
 from ..tablemodel.pareto_table import ParetoTableModel
 from ..yieldmodel.targeting import CombinedYieldModel
 
 __all__ = ["save_flow_artifacts", "load_flow_arrays", "rebuild_model"]
+
+
+def _ota_yield_report(result, search) -> str:
+    """Stage-7 OTA report: annotated front + ladder accounting + the
+    comparison against the paper's guard-banded model selection."""
+    from ..optimize import (format_guardband_comparison,
+                            format_ladder_summary, format_yield_front)
+    parts = [format_yield_front(search), "", format_ladder_summary(
+        search.counts)]
+    try:
+        design = result.model.design_for_specs(result.config.corner_specs())
+        reference = dict(design.nominal_performance)
+        label = "guard-banded (model)"
+    except YieldModelError:
+        # Reduced fronts may not reach the paper's spec; fall back to
+        # the mid-front reference design for a like-for-like row.
+        mid = result.pareto_count // 2
+        reference = {name: float(result.pareto_objectives[mid, j])
+                     for j, name in enumerate(
+                         result.model.objective_names)}
+        label = "mid-front reference"
+    parts += ["", format_guardband_comparison(search, label, reference)]
+    return "\n".join(parts)
+
+
+def _filter_yield_report(search) -> str:
+    """Stage-7 filter2 report; the reference row is the search's own
+    max-worst-nominal-margin point (the filter flow's selection rule)."""
+    from ..optimize import (format_guardband_comparison,
+                            format_ladder_summary, format_yield_front)
+    objectives = search.front_objectives()
+    annotations = search.front_annotations()
+    base_names = tuple(obj.name for obj in search.problem.base.objectives)
+    worst = objectives[:, :len(base_names)].min(axis=1)
+    best = int(np.argmax(worst))
+    reference = {name: float(objectives[best, j])
+                 for j, name in enumerate(base_names)}
+    reference_yield = float(annotations["yield"][best])
+    if not np.isfinite(reference_yield):
+        reference_yield = None
+    return "\n".join([
+        format_yield_front(search), "",
+        format_ladder_summary(search.counts), "",
+        format_guardband_comparison(search, "max-nominal-margin point",
+                                    reference, reference_yield),
+    ])
 
 
 def save_flow_artifacts(result, directory) -> dict[str, Path]:
@@ -85,6 +136,21 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
         written["surrogate"] = save_surrogates(
             surrogate, directory / "surrogate_model.npz")
         arrays["surrogate_reference"] = result.surrogate_reference
+    searches = (("yield", getattr(result, "yield_search", None)),
+                ("filter_yield", getattr(result, "filter_yield_search",
+                                         None)))
+    for tag, search in searches:
+        if search is None:
+            continue
+        arrays[f"{tag}_front_parameters"] = search.front_parameters()
+        arrays[f"{tag}_front_objectives"] = search.front_objectives()
+        for name, values in search.front_annotations().items():
+            arrays[f"{tag}_front_{name}"] = values
+        report = _ota_yield_report(result, search) if tag == "yield" \
+            else _filter_yield_report(search)
+        report_path = directory / f"{tag}_front.txt"
+        report_path.write_text(report + "\n")
+        written[f"{tag}_front"] = report_path
     npz_path = directory / "flow_result.npz"
     np.savez_compressed(npz_path, **arrays)
     written["arrays"] = npz_path
@@ -120,6 +186,21 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
                           for name, err in surrogate.cv_errors.items()},
             "reference_parameters": [float(v)
                                      for v in result.surrogate_reference],
+        }
+    for tag, search in searches:
+        if search is None:
+            continue
+        summary[f"{tag}_search"] = {
+            "mode": search.config.mode,
+            "optimizer": search.config.optimizer,
+            "yield_target": search.config.yield_target,
+            "front_points": int(search.front_count()),
+            "objective_names": list(search.objective_names),
+            "ladder": {
+                "resolved_per_fidelity": list(search.counts.resolved),
+                "sims_per_fidelity": list(search.counts.sims),
+                "budget_exhausted": bool(search.counts.budget_exhausted),
+            },
         }
     json_path = directory / "flow_summary.json"
     json_path.write_text(json.dumps(summary, indent=2))

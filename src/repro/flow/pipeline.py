@@ -22,6 +22,12 @@
    mid-front reference design, trained through the same execution
    backends and persisted with the artefacts so later yield campaigns
    can run at polynomial cost.
+7. **In-loop yield search** (optional, ``yield_objective != "none"``) --
+   the :mod:`repro.optimize` subsystem re-optimises both seed designs
+   (the OTA W/L space and the filter2 capacitor space) with yield as an
+   in-loop objective, estimated per candidate by the multi-fidelity
+   estimator ladder, and produces yield-annotated Pareto fronts plus a
+   comparison against the paper's guard-banded selection.
 
 Costs are tracked in a :class:`~repro.flow.accounting.SimulationLedger`
 so Table 5 and the conventional-flow comparison can be regenerated.
@@ -31,12 +37,18 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids a cycle:
+    # repro.optimize depends on repro.flow.accounting at runtime)
+    from ..optimize import YieldSearchConfig, YieldSearchResult
+
 from ..corners import CornerGrid, CornerVerification, corner_sweep_points
+from ..designs.filter2 import DEFAULT_FILTER_SPEC
 from ..designs.ota import (OTA_DESIGN_SPACE, OTAParameters, evaluate_ota)
-from ..designs.problems import OTAProblem
+from ..designs.problems import OTAProblem, TransistorFilterProblem
 from ..errors import YieldModelError
 from ..mc.engine import MCConfig, monte_carlo_points
 from ..mc.sampler import stream
@@ -91,6 +103,20 @@ class FlowConfig:
     #: Surrogate model family when the stage runs
     #: (:data:`repro.surrogate.SURROGATE_KINDS`).
     surrogate_kind: str = "quadratic"
+    #: In-loop yield search mode of the optional stage 7: ``"none"``
+    #: disables the stage; ``"yield"`` / ``"ksigma"`` / ``"chance"``
+    #: select the augmentation of :mod:`repro.optimize`.
+    yield_objective: str = "none"
+    #: Target yield of the stage-7 escalation logic and of the
+    #: chance-constraint penalty.
+    yield_target: float = 0.90
+    #: Total simulator-call budget of the stage-7 estimator ladder per
+    #: search (0 = unlimited).
+    fidelity_budget: int = 0
+    #: GA scale of the stage-7 searches (deliberately smaller than the
+    #: stage-2 WBGA: every candidate pays an in-loop yield estimate).
+    yield_generations: int = 12
+    yield_population: int = 16
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.population,
@@ -113,6 +139,23 @@ class FlowConfig:
             Spec("gain_db", "ge", self.corner_spec_gain_db, "dB"),
             Spec("pm_deg", "ge", self.corner_spec_pm_deg, "deg"),
         ])
+
+    def yield_search_config(self) -> "YieldSearchConfig":
+        """Stage-7 search settings derived from the flow configuration."""
+        # Runtime import: repro.optimize itself builds on repro.flow's
+        # accounting, so the dependency must stay one-way at import time.
+        from ..optimize import LadderConfig, YieldSearchConfig
+        ladder = LadderConfig(
+            yield_target=self.yield_target,
+            fidelity_budget=self.fidelity_budget,
+            seed=self.seed,
+            backend=self.mc_backend, workers=self.mc_workers,
+            chunk_lanes=self.mc_chunk_lanes)
+        return YieldSearchConfig(
+            mode=self.yield_objective, yield_target=self.yield_target,
+            generations=self.yield_generations,
+            population=self.yield_population,
+            seed=self.seed, ladder=ladder)
 
 
 def paper_scale_config(seed: int = 2008) -> FlowConfig:
@@ -154,6 +197,10 @@ class FlowResult:
     surrogate_reference:
         Natural-unit design parameters the surrogate was trained at
         (the mid-front point), shape ``(8,)``; ``None`` when disabled.
+    yield_search, filter_yield_search:
+        Stage-7 in-loop yield-aware searches of the OTA and filter2
+        designs (:class:`repro.optimize.YieldSearchResult`), or ``None``
+        when the stage was disabled (``config.yield_objective == "none"``).
     ledger:
         Simulation/time accounting for the Table-5 comparison.
     """
@@ -171,6 +218,8 @@ class FlowResult:
     corner_check: CornerVerification | None = None
     surrogate: object | None = None
     surrogate_reference: np.ndarray | None = None
+    yield_search: "YieldSearchResult | None" = None
+    filter_yield_search: "YieldSearchResult | None" = None
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -393,6 +442,38 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         for line in surrogate.describe().splitlines():
             say(f"  {line}")
 
+    # Stage 7 (optional): in-loop yield-aware Pareto search on both
+    # seed designs, sharing the flow's ledger for per-fidelity costs.
+    yield_search = None
+    filter_yield_search = None
+    if config.yield_objective != "none":
+        from ..optimize import (filter_evaluator_factory,
+                                ota_evaluator_factory, run_yield_search)
+        search_config = config.yield_search_config()
+        say(f"in-loop yield search (OTA): {config.yield_generations} "
+            f"generations x {config.yield_population} individuals, "
+            f"mode {config.yield_objective}")
+        yield_search = run_yield_search(
+            OTAProblem(pdk=pdk, cl=config.cl, ibias=config.ibias),
+            ota_evaluator_factory(pdk=pdk, cl=config.cl, ibias=config.ibias),
+            config.corner_specs(), pdk, search_config, ledger=ledger)
+        for line in yield_search.describe().splitlines():
+            say(f"  {line}")
+
+        reference_ota = OTAParameters.from_array(
+            natural_params[k_points // 2])
+        filter_specs = SpecSet([
+            Spec("ripple_db", "le", DEFAULT_FILTER_SPEC.max_ripple_db, "dB"),
+            Spec("atten_db", "ge", DEFAULT_FILTER_SPEC.min_atten_db, "dB"),
+        ])
+        say("in-loop yield search (filter2) at the mid-front OTA design")
+        filter_yield_search = run_yield_search(
+            TransistorFilterProblem(reference_ota, pdk=pdk),
+            filter_evaluator_factory(reference_ota, pdk=pdk),
+            filter_specs, pdk, search_config, ledger=ledger)
+        for line in filter_yield_search.describe().splitlines():
+            say(f"  {line}")
+
     return FlowResult(
         config=config,
         pdk_name=pdk.name,
@@ -407,5 +488,7 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         corner_check=corner_check,
         surrogate=surrogate,
         surrogate_reference=surrogate_reference,
+        yield_search=yield_search,
+        filter_yield_search=filter_yield_search,
         ledger=ledger,
     )

@@ -2,7 +2,7 @@
 baseline, Pareto utilities."""
 
 from .ga import GAConfig
-from .hypervolume import hypervolume_2d
+from .hypervolume import hypervolume, hypervolume_2d
 from .nsga2 import NSGA2Result, run_nsga2
 from .pareto import (crowding_distance, dominates, fast_non_dominated_sort,
                      non_dominated_mask, pareto_front_indices)
@@ -10,7 +10,7 @@ from .problem import FunctionProblem, Objective, OptimizationProblem
 from .wbga import WBGAResult, normalise_weights, run_wbga
 
 __all__ = [
-    "GAConfig", "hypervolume_2d",
+    "GAConfig", "hypervolume", "hypervolume_2d",
     "NSGA2Result", "run_nsga2",
     "crowding_distance", "dominates", "fast_non_dominated_sort",
     "non_dominated_mask", "pareto_front_indices",

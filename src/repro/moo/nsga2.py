@@ -26,7 +26,13 @@ __all__ = ["NSGA2Result", "run_nsga2"]
 @dataclass
 class NSGA2Result:
     """Result of an NSGA-II run (same archive shape as WBGA for easy
-    comparison)."""
+    comparison).
+
+    ``annotations`` is an optional per-individual side channel aligned
+    with ``all_parameters`` rows -- the yield-aware search
+    (:mod:`repro.optimize`) stores each individual's ladder yield
+    estimate, standard error, fidelity, and simulator cost there.
+    """
 
     problem: OptimizationProblem
     config: GAConfig
@@ -34,6 +40,7 @@ class NSGA2Result:
     all_objectives: np.ndarray
     final_parameters: np.ndarray
     final_objectives: np.ndarray
+    annotations: dict[str, np.ndarray] | None = None
 
     @property
     def evaluations(self) -> int:
@@ -50,6 +57,15 @@ class NSGA2Result:
 
     def pareto_count(self) -> int:
         return int(np.count_nonzero(self.pareto_mask()))
+
+    def pareto_annotations(self) -> dict[str, np.ndarray]:
+        """The annotation columns restricted to the Pareto front
+        (empty when no annotations were attached)."""
+        if not self.annotations:
+            return {}
+        mask = self.pareto_mask()
+        return {name: values[mask]
+                for name, values in self.annotations.items()}
 
 
 def _rank_and_crowding(oriented: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

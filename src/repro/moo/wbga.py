@@ -73,6 +73,10 @@ class WBGAResult:
         Generation index of each evaluated individual, ``(E,)``.
     best_fitness_per_generation:
         Convergence trace, ``(G,)``.
+    annotations:
+        Optional per-individual side channel aligned with
+        ``all_parameters`` rows (the yield-aware search stores ladder
+        yield estimates, fidelities, and simulator costs here).
     """
 
     problem: OptimizationProblem
@@ -85,6 +89,7 @@ class WBGAResult:
     best_fitness_per_generation: np.ndarray
     objective_minima: np.ndarray = field(default=None)
     objective_maxima: np.ndarray = field(default=None)
+    annotations: dict[str, np.ndarray] | None = None
 
     @property
     def evaluations(self) -> int:
@@ -106,6 +111,15 @@ class WBGAResult:
     def pareto_count(self) -> int:
         """Number of Pareto points (the paper reports 1022)."""
         return int(np.count_nonzero(self.pareto_mask()))
+
+    def pareto_annotations(self) -> dict[str, np.ndarray]:
+        """The annotation columns restricted to the Pareto front
+        (empty when no annotations were attached)."""
+        if not self.annotations:
+            return {}
+        mask = self.pareto_mask()
+        return {name: values[mask]
+                for name, values in self.annotations.items()}
 
 
 def _equation5_fitness(oriented: np.ndarray, weights: np.ndarray,

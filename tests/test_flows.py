@@ -1,5 +1,6 @@
 """Integration tests of the end-to-end flows (reduced scale)."""
 
+import dataclasses
 import json
 
 import numpy as np
@@ -252,3 +253,65 @@ class TestAccounting:
             pass
         assert ledger.stages["stage"].simulations == 5
         assert ledger.stages["stage"].wall_seconds >= 0
+
+
+class TestYieldSearchStage:
+    """Stage 7: the in-loop yield search on both seed designs."""
+
+    @pytest.fixture(scope="class")
+    def yield_flow(self):
+        config = dataclasses.replace(
+            reduced_config(),
+            yield_objective="yield", yield_target=0.90,
+            yield_generations=4, yield_population=10,
+            corners="tm", corner_vdds=(3.3,), corner_temps=(27.0,))
+        return run_model_build_flow(config)
+
+    def test_both_seed_designs_get_annotated_fronts(self, yield_flow):
+        for search in (yield_flow.yield_search,
+                       yield_flow.filter_yield_search):
+            assert search is not None
+            assert search.front_count() > 0
+            annotations = search.front_annotations()
+            assert annotations["yield"].shape == (search.front_count(),)
+            assert np.all((annotations["fidelity"] >= 0)
+                          & (annotations["fidelity"] <= 2))
+
+    def test_augmented_objective_names(self, yield_flow):
+        assert yield_flow.yield_search.objective_names == \
+            ("gain_db", "pm_deg", "yield_frac")
+        assert yield_flow.filter_yield_search.objective_names == \
+            ("ripple_margin", "atten_margin", "yield_frac")
+
+    def test_ladder_costs_in_flow_ledger(self, yield_flow):
+        stages = set(yield_flow.ledger.stages)
+        assert "yield ladder: corner bounds" in stages
+        assert "yield search: nominal evaluations" in stages
+        ladder_sims = sum(record.simulations
+                          for name, record in
+                          yield_flow.ledger.stages.items()
+                          if name.startswith("yield ladder:"))
+        assert ladder_sims == (yield_flow.yield_search.counts.total_sims
+                               + yield_flow.filter_yield_search
+                                 .counts.total_sims)
+
+    def test_artifacts_include_yield_fronts(self, yield_flow, tmp_path):
+        written = save_flow_artifacts(yield_flow, tmp_path)
+        assert written["yield_front"].exists()
+        assert written["filter_yield_front"].exists()
+        report = written["yield_front"].read_text()
+        assert "yield-annotated Pareto front" in report
+        assert "target yield" in report
+        arrays = load_flow_arrays(tmp_path)
+        points = yield_flow.yield_search.front_count()
+        assert arrays["yield_front_objectives"].shape == (points, 3)
+        assert arrays["yield_front_yield"].shape == (points,)
+        assert arrays["filter_yield_front_objectives"].shape[1] == 3
+        summary = json.loads((tmp_path / "flow_summary.json").read_text())
+        assert summary["yield_search"]["mode"] == "yield"
+        assert len(summary["filter_yield_search"]["ladder"]
+                   ["sims_per_fidelity"]) == 3
+
+    def test_disabled_by_default(self, reduced_flow):
+        assert reduced_flow.yield_search is None
+        assert reduced_flow.filter_yield_search is None

@@ -1,0 +1,104 @@
+"""General-dimension hypervolume tests (the yield-front scorer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.moo import hypervolume, hypervolume_2d
+
+
+class TestKnownVolumes:
+    def test_single_cube(self):
+        assert hypervolume([[1.0, 1.0, 1.0]], (0, 0, 0)) == pytest.approx(1.0)
+
+    def test_reference_offset(self):
+        assert hypervolume([[2.0, 3.0, 4.0]], (1, 1, 1)) == pytest.approx(6.0)
+
+    def test_two_points_inclusion_exclusion(self):
+        # Union = 2*1*1 + 1*2*1 - overlap 1*1*1 = 3.
+        points = [[2.0, 1.0, 1.0], [1.0, 2.0, 1.0]]
+        assert hypervolume(points, (0, 0, 0)) == pytest.approx(3.0)
+
+    def test_dominated_point_ignored(self):
+        points = [[2.0, 2.0, 2.0], [1.0, 1.0, 1.0]]
+        assert hypervolume(points, (0, 0, 0)) == pytest.approx(8.0)
+
+    def test_duplicates_ignored(self):
+        points = [[1.0, 1.0, 1.0]] * 3
+        assert hypervolume(points, (0, 0, 0)) == pytest.approx(1.0)
+
+    def test_out_of_range_and_nonfinite_filtered(self):
+        points = [[1.0, 1.0, 1.0], [-1.0, 5.0, 5.0], [np.nan, 2.0, 2.0],
+                  [np.inf, 2.0, 2.0]]
+        assert hypervolume(points, (0, 0, 0)) == pytest.approx(1.0)
+
+    def test_empty_and_fully_dominated_by_reference(self):
+        assert hypervolume(np.empty((0, 3)), (0, 0, 0)) == 0.0
+        assert hypervolume([[0.0, 1.0, 1.0]], (0, 0, 0)) == 0.0
+
+    def test_four_objectives(self):
+        assert hypervolume([[1, 1, 1, 1], [2, 0.5, 1, 1]],
+                           (0, 0, 0, 0)) == pytest.approx(1.0 + 0.5)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(OptimizationError):
+            hypervolume([[1.0, 1.0]], (0, 0, 0))
+
+    def test_two_objectives_delegate_to_fast_path(self):
+        points = np.array([[1.0, 2.0], [2.0, 1.0], [0.5, 0.5]])
+        assert hypervolume(points, (0, 0)) == \
+            hypervolume_2d(points, (0.0, 0.0))
+
+
+class TestConsistency:
+    def test_constant_extra_dimension_scales_volume(self):
+        rng = np.random.default_rng(3)
+        points_2d = rng.random((30, 2)) + 0.1
+        height = 2.5
+        points_3d = np.hstack([points_2d,
+                               np.full((30, 1), height)])
+        expected = hypervolume_2d(points_2d, (0.0, 0.0)) * height
+        assert hypervolume(points_3d, (0, 0, 0)) == pytest.approx(expected)
+
+    def test_permutation_invariance(self):
+        rng = np.random.default_rng(5)
+        points = rng.random((25, 3)) + 0.05
+        base = hypervolume(points, (0, 0, 0))
+        for permutation in ([1, 0, 2], [2, 1, 0], [1, 2, 0]):
+            assert hypervolume(points[:, permutation],
+                               (0, 0, 0)) == pytest.approx(base)
+
+    def test_monte_carlo_cross_check(self):
+        rng = np.random.default_rng(11)
+        points = rng.random((12, 3))
+        exact = hypervolume(points, (0, 0, 0))
+        samples = rng.random((200_000, 3))
+        dominated = np.zeros(samples.shape[0], dtype=bool)
+        for point in points:
+            dominated |= np.all(samples <= point, axis=1)
+        estimate = dominated.mean()
+        assert exact == pytest.approx(estimate, abs=4e-3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.1, 5), st.floats(0.1, 5),
+                              st.floats(0.1, 5)),
+                    min_size=1, max_size=20))
+    def test_monotone_under_point_addition(self, points):
+        points = np.asarray(points, dtype=float)
+        reference = (0.0, 0.0, 0.0)
+        partial = hypervolume(points[:-1], reference) if len(points) > 1 \
+            else 0.0
+        assert hypervolume(points, reference) >= partial - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.1, 5), st.floats(0.1, 5),
+                              st.floats(0.1, 5)),
+                    min_size=1, max_size=15))
+    def test_bounded_by_bounding_box(self, points):
+        points = np.asarray(points, dtype=float)
+        volume = hypervolume(points, (0.0, 0.0, 0.0))
+        box = np.prod(points.max(axis=0))
+        best_single = max(np.prod(point) for point in points)
+        assert best_single - 1e-12 <= volume <= box + 1e-12

@@ -139,3 +139,73 @@ class TestFastNonDominatedSort:
         fronts = fast_non_dominated_sort(values)
         assigned = np.concatenate(fronts)
         assert sorted(assigned.tolist()) == list(range(30))
+
+
+def _brute_force_mask(values: np.ndarray) -> np.ndarray:
+    """Reference non-dominated mask: a direct double loop over
+    :func:`dominates` (the textbook definition, any dimension)."""
+    n = values.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i != j and dominates(values[j], values[i]):
+                mask[i] = False
+                break
+    return mask
+
+
+def _nd_point_lists(max_points=24):
+    """Hypothesis strategy: random 3- or 4-objective point sets with
+    deliberate duplicate/tie pressure (values snap to a 0.5 grid)."""
+    coordinate = st.floats(-4, 4).map(lambda value: round(2 * value) / 2)
+    return st.integers(3, 4).flatmap(
+        lambda dims: st.lists(
+            st.lists(coordinate, min_size=dims, max_size=dims),
+            min_size=1, max_size=max_points))
+
+
+class TestGeneralDimensionProperties:
+    """Property-based coverage of the >=3-objective paths (the
+    yield-augmented fronts of repro.optimize exercise exactly these)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(_nd_point_lists())
+    def test_mask_general_agrees_with_brute_force(self, points):
+        values = np.asarray(points, dtype=float)
+        np.testing.assert_array_equal(_mask_general(values),
+                                      _brute_force_mask(values))
+
+    @settings(max_examples=30, deadline=None)
+    @given(_nd_point_lists())
+    def test_mask_general_chunking_invariant(self, points):
+        values = np.asarray(points, dtype=float)
+        np.testing.assert_array_equal(_mask_general(values, chunk=1),
+                                      _mask_general(values, chunk=256))
+
+    @settings(max_examples=40, deadline=None)
+    @given(_nd_point_lists())
+    def test_sort_fronts_mutually_non_dominating(self, points):
+        values = np.asarray(points, dtype=float)
+        fronts = fast_non_dominated_sort(values)
+        for front in fronts:
+            members = values[front]
+            for i in range(members.shape[0]):
+                for j in range(members.shape[0]):
+                    if i != j:
+                        assert not dominates(members[i], members[j])
+
+    @settings(max_examples=40, deadline=None)
+    @given(_nd_point_lists())
+    def test_sort_partitions_and_layers_correctly(self, points):
+        values = np.asarray(points, dtype=float)
+        fronts = fast_non_dominated_sort(values)
+        assigned = np.concatenate(fronts)
+        assert sorted(assigned.tolist()) == list(range(values.shape[0]))
+        # Front 0 is exactly the non-dominated set; every later layer's
+        # member is dominated by someone in the layer above.
+        np.testing.assert_array_equal(
+            np.sort(fronts[0]), np.nonzero(_brute_force_mask(values))[0])
+        for level in range(1, len(fronts)):
+            for index in fronts[level]:
+                assert any(dominates(values[j], values[index])
+                           for j in fronts[level - 1])

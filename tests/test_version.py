@@ -1,0 +1,46 @@
+"""Version single-sourcing tests.
+
+The version lives in exactly one place -- ``repro.__version__`` --
+and everything else (packaging metadata, ``repro --version``) reads it
+from there.  PR 4 fixed a real drift: ``setup.cfg`` said 0.1.0 while the
+package said 1.0.0.
+"""
+
+import configparser
+import importlib.metadata
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+
+SETUP_CFG = Path(__file__).parent.parent / "setup.cfg"
+
+
+def test_version_is_a_sane_string():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_setup_cfg_single_sources_the_version():
+    parser = configparser.ConfigParser()
+    parser.read(SETUP_CFG)
+    assert parser["metadata"]["version"] == "attr: repro.__version__"
+
+
+def test_cli_version_reports_package_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_installed_distribution_agrees_when_present():
+    """When the package is pip-installed (the packaged-install CI job),
+    the distribution metadata must agree with ``repro.__version__``."""
+    try:
+        installed = importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        pytest.skip("repro is not installed as a distribution here")
+    assert installed == repro.__version__
