@@ -77,6 +77,14 @@ def _cmd_build(args) -> int:
     if args.fidelity_budget < 0:
         print("error: --fidelity-budget must be >= 0", file=sys.stderr)
         return 2
+    if not 0.0 <= args.adaptive_ci < 1.0:
+        print("error: --adaptive-ci must lie in [0, 1) "
+              "(0 disables the stage)", file=sys.stderr)
+        return 2
+    if args.checkpoint and not args.adaptive_ci:
+        print("error: --checkpoint needs --adaptive-ci to enable the "
+              "streaming verification stage", file=sys.stderr)
+        return 2
     try:
         config = dataclasses.replace(
             config, corners=args.corners,
@@ -85,7 +93,9 @@ def _cmd_build(args) -> int:
             surrogate_budget=budget,
             yield_objective=args.yield_objective,
             yield_target=args.yield_target,
-            fidelity_budget=args.fidelity_budget)
+            fidelity_budget=args.fidelity_budget,
+            adaptive_ci=args.adaptive_ci,
+            streaming_checkpoint=args.checkpoint)
         config.corner_grid(C35)  # fail fast on unknown corner names
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -187,6 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulator budget of the surrogate training "
                             "stage (implies --surrogate; default 96 when "
                             "--surrogate is given)")
+    build.add_argument("--adaptive-ci", type=float, default=0.0,
+                       help="enable the streaming adaptive yield "
+                            "verification stage: stop the mid-front "
+                            "verification MC once the Wilson CI on the "
+                            "yield is narrower than this width (yield "
+                            "fraction, e.g. 0.05; default 0 = stage "
+                            "disabled)")
+    build.add_argument("--checkpoint", default="",
+                       help="checkpoint file of the streaming "
+                            "verification; an interrupted build resumes "
+                            "from it instead of restarting the stage "
+                            "(needs --adaptive-ci)")
     build.add_argument("--yield-objective", default="none",
                        choices=["none", "yield", "ksigma", "chance"],
                        help="stage-7 in-loop yield search mode: append a "

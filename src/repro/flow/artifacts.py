@@ -19,6 +19,9 @@ exactly that artefact set for a finished
   yield-annotated Pareto fronts (in-loop yield search on the OTA and
   filter2 designs) with per-fidelity ladder accounting and the
   comparison against the guard-banded reference (when stage 7 ran);
+* ``streaming_verification.txt`` -- the stage-4c streaming adaptive
+  yield verification report (per-performance online statistics, yield
+  with Wilson interval, adaptive-stop state; when the stage ran);
 * ``flow_result.npz`` + ``flow_summary.json`` -- full numeric state
   (including per-corner performance arrays), so a flow run can be
   reloaded without re-simulating.
@@ -151,6 +154,11 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
         report_path = directory / f"{tag}_front.txt"
         report_path.write_text(report + "\n")
         written[f"{tag}_front"] = report_path
+    streaming = getattr(result, "streaming_verification", None)
+    if streaming is not None:
+        streaming_path = directory / "streaming_verification.txt"
+        streaming_path.write_text(streaming.describe() + "\n")
+        written["streaming_verification"] = streaming_path
     npz_path = directory / "flow_result.npz"
     np.savez_compressed(npz_path, **arrays)
     written["arrays"] = npz_path
@@ -201,6 +209,19 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
                 "sims_per_fidelity": list(search.counts.sims),
                 "budget_exhausted": bool(search.counts.budget_exhausted),
             },
+        }
+    if streaming is not None and streaming.counter is not None:
+        confidence = streaming.confidence
+        lo, hi = streaming.counter.interval(confidence)
+        summary["streaming_verification"] = {
+            "passed": int(streaming.counter.passed),
+            "total": int(streaming.counter.total),
+            "confidence": float(confidence),
+            "wilson_interval": [float(lo), float(hi)],
+            "samples_done": int(streaming.samples_done),
+            "samples_cap": int(streaming.samples_cap),
+            "stopped_early": bool(streaming.stopped_early),
+            "interrupted": bool(streaming.interrupted),
         }
     json_path = directory / "flow_summary.json"
     json_path.write_text(json.dumps(summary, indent=2))

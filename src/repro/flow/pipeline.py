@@ -14,6 +14,13 @@
    full process-corner x supply x temperature grid as stacked batch
    lanes (:mod:`repro.corners`), reporting per-corner spec margins and
    checking that deterministic corners bound the Monte-Carlo spread.
+4c. **Streaming adaptive yield verification** (optional,
+   ``adaptive_ci > 0``) -- a streaming Monte-Carlo run
+   (:mod:`repro.mc.streaming`) on the mid-front design that reduces
+   chunks into online accumulators and stops as soon as the Wilson
+   interval on the yield is narrower than the requested width, instead
+   of burning a fixed sample count; checkpointable via
+   ``streaming_checkpoint`` so an interrupted build resumes it.
 5. **Table-model generation** -- performance + variation tables
    (section 3.5) assembled into a
    :class:`~repro.yieldmodel.targeting.CombinedYieldModel`.
@@ -43,6 +50,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (avoids a cycle:
     # repro.optimize depends on repro.flow.accounting at runtime)
+    from ..mc.streaming import StreamingResult
     from ..optimize import YieldSearchConfig, YieldSearchResult
 
 from ..corners import CornerGrid, CornerVerification, corner_sweep_points
@@ -52,6 +60,7 @@ from ..designs.problems import OTAProblem, TransistorFilterProblem
 from ..errors import YieldModelError
 from ..mc.engine import MCConfig, monte_carlo_points
 from ..mc.sampler import stream
+from ..mc.streaming import AdaptiveStop
 from ..measure.specs import Spec, SpecSet
 from ..moo.ga import GAConfig
 from ..moo.wbga import WBGAResult, run_wbga
@@ -97,6 +106,28 @@ class FlowConfig:
     #: paper's section-5 OTA requirement).
     corner_spec_gain_db: float = 50.0
     corner_spec_pm_deg: float = 60.0
+    #: Streaming adaptive yield verification (stage 4c): target full
+    #: width of the Wilson confidence interval on the yield of the
+    #: mid-front design, as a yield fraction (e.g. 0.05 = +/-2.5 %);
+    #: 0 disables the stage.
+    adaptive_ci: float = 0.0
+    #: Sample cap of the adaptive verification run (it usually stops
+    #: far earlier).
+    adaptive_max_samples: int = 4000
+    #: Chunk size of the adaptive verification.  Deliberately smaller
+    #: than ``mc_chunk_lanes``: the adaptive stop can only fire between
+    #: chunks, so the chunk size is the stopping granularity.
+    adaptive_chunk_lanes: int = 256
+    #: Chunks per stopping-check round of the adaptive verification
+    #: (also the per-round parallelism -- set it at or above the worker
+    #: count of a pooled backend to keep the pool busy).  Explicit
+    #: rather than derived from the backend, so the stop point -- and
+    #: the checkpoint identity -- never depends on the backend choice.
+    adaptive_check_every: int = 1
+    #: Checkpoint artefact of the streaming verification ("" = none).
+    #: An interrupted build re-run with the same seed resumes the
+    #: verification from this file instead of restarting it.
+    streaming_checkpoint: str = ""
     #: Simulator budget of the optional surrogate-training stage
     #: (stage 6); 0 disables the stage entirely.
     surrogate_budget: int = 0
@@ -201,6 +232,11 @@ class FlowResult:
         Stage-7 in-loop yield-aware searches of the OTA and filter2
         designs (:class:`repro.optimize.YieldSearchResult`), or ``None``
         when the stage was disabled (``config.yield_objective == "none"``).
+    streaming_verification:
+        Stage-4c streaming adaptive yield verification of the mid-front
+        design (:class:`repro.mc.streaming.StreamingResult`: online
+        accumulators, yield counts, stop state), or ``None`` when the
+        stage was disabled (``config.adaptive_ci == 0``).
     ledger:
         Simulation/time accounting for the Table-5 comparison.
     """
@@ -220,6 +256,7 @@ class FlowResult:
     surrogate_reference: np.ndarray | None = None
     yield_search: "YieldSearchResult | None" = None
     filter_yield_search: "YieldSearchResult | None" = None
+    streaming_verification: "StreamingResult | None" = None
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -396,6 +433,58 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         for check in corner_check.mc_check.values():
             say(f"  {check.describe()}")
 
+    # Stage 4c (optional): streaming adaptive yield verification of the
+    # mid-front design against the corner specs -- stops as soon as the
+    # Wilson interval is narrower than the requested width instead of
+    # burning a fixed sample count.
+    streaming_verification = None
+    if config.adaptive_ci > 0.0:
+        import hashlib
+
+        from ..yieldmodel.estimator import estimate_yield_streaming
+        reference = natural_params[k_points // 2]
+        say(f"streaming yield verification: CI width <= "
+            f"{config.adaptive_ci:g} (cap {config.adaptive_max_samples} "
+            f"samples) at the mid-front design")
+        # The stage key binds the verified design into the checkpoint
+        # fingerprint: a stale checkpoint from a build whose front (and
+        # therefore mid-front reference) differs must be rejected, not
+        # silently resumed as another design's yield.
+        digest = hashlib.sha256(reference.tobytes()).hexdigest()[:16]
+
+        def streaming_evaluator(die_sample):
+            tiled = OTAParameters.from_array(
+                np.repeat(reference[None, :], die_sample.size, axis=0))
+            performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
+                                       cl=config.cl, ibias=config.ibias)
+            return {"gain_db": performance["gain_db"],
+                    "pm_deg": performance["pm_deg"]}
+
+        streaming_config = MCConfig(
+            n_samples=config.adaptive_max_samples, seed=config.seed,
+            chunk_lanes=config.adaptive_chunk_lanes,
+            backend=config.mc_backend, workers=config.mc_workers)
+        with ledger.timed("streaming yield verification"):
+            estimate, streaming_verification = estimate_yield_streaming(
+                streaming_evaluator, pdk, config.corner_specs(),
+                streaming_config,
+                adaptive=AdaptiveStop(
+                    metric="yield", ci_width=config.adaptive_ci,
+                    check_every=config.adaptive_check_every),
+                checkpoint=config.streaming_checkpoint or None,
+                stage=f"mc-verify-{digest}")
+        # Only the work this invocation simulated counts: a resumed
+        # run's checkpointed samples were paid for by the earlier run.
+        ledger.record("streaming yield verification",
+                      streaming_verification.samples_done
+                      - streaming_verification.samples_resumed, 0.0)
+        for line in estimate.describe().splitlines():
+            say(f"  {line}")
+        if streaming_verification.stopped_early:
+            say(f"  adaptive stop after "
+                f"{streaming_verification.samples_done}/"
+                f"{streaming_verification.samples_cap} samples")
+
     # Stage 5: table-model generation -> the combined model.
     with ledger.timed("table model generation"):
         # Smooth the per-point variation estimates along the front: the
@@ -490,5 +579,6 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         surrogate_reference=surrogate_reference,
         yield_search=yield_search,
         filter_yield_search=filter_yield_search,
+        streaming_verification=streaming_verification,
         ledger=ledger,
     )

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ReproError
 from ..exec import Backend, resolve_backend
 from ..process.pdk import ProcessKit
 from .sampler import child_streams, stream
@@ -100,6 +101,65 @@ class MCConfig:
     backend: "str | Backend | None" = None
     workers: int = 0
 
+    def __post_init__(self) -> None:
+        # Validate at construction: a degenerate configuration used to
+        # surface only deep inside the engine (a zero-lane chunk crashing
+        # at ``parts[0]`` or inside ``pdk.sample``), far from the caller
+        # that built it.
+        if self.n_samples < 1:
+            raise ReproError(
+                f"MCConfig.n_samples must be >= 1, got {self.n_samples}")
+        if self.chunk_lanes < 1:
+            raise ReproError(
+                f"MCConfig.chunk_lanes must be >= 1, got {self.chunk_lanes}")
+        if self.workers < 0:
+            raise ReproError(
+                f"MCConfig.workers must be >= 0 (0 = one per CPU), "
+                f"got {self.workers}")
+
+
+def _plan_single_chunks(config: MCConfig, stage: str = "mc-single"):
+    """Chunk plan of a single-design MC run: ``(start, stop, rng)`` bounds.
+
+    Shared by :func:`monte_carlo` and the streaming driver
+    (:func:`repro.mc.streaming.monte_carlo_streaming`), so both walk the
+    *identical* chunk geometry and random streams for a given config --
+    a streaming run reduces exactly the population a batch run would
+    concatenate, and an adaptively-stopped run reduces a prefix of it
+    (child streams are prefix-stable, see
+    :func:`repro.mc.sampler.child_streams`).
+
+    A single-chunk plan (the common verification case) uses the same
+    ``(seed, stage)`` stream as ever, so historical seeds keep producing
+    identical populations.
+    """
+    total = config.n_samples
+    lanes = config.chunk_lanes
+    n_chunks = max(1, (total + lanes - 1) // lanes)
+    if n_chunks == 1:
+        rngs = [stream(config.seed, stage)]
+    else:
+        rngs = child_streams(config.seed, stage, n_chunks)
+    return [(i * lanes, min((i + 1) * lanes, total), rngs[i])
+            for i in range(n_chunks)]
+
+
+def _single_chunk_runner(evaluator, pdk: ProcessKit, config: MCConfig):
+    """The per-chunk task of a single-design MC run: draw the chunk's die
+    realisations from its private stream, evaluate, normalise the
+    performance arrays.  Shared by the batch and streaming drivers."""
+
+    def run_chunk(task):
+        start, stop, rng = task
+        sample = pdk.sample(stop - start, rng,
+                            include_global=config.include_global,
+                            include_mismatch=config.include_mismatch)
+        performance = evaluator(sample)
+        return {name: np.asarray(values, dtype=float).reshape(-1)
+                for name, values in performance.items()}
+
+    return run_chunk
+
 
 def _run_chunks(backend, run_chunk, chunk_bounds, progress, total_units):
     """Execute chunk tasks on ``backend``; adapt progress to work units.
@@ -147,24 +207,8 @@ def monte_carlo(evaluator, pdk: ProcessKit,
     """
     config = config or MCConfig()
     total = config.n_samples
-    lanes = max(1, config.chunk_lanes)
-    n_chunks = max(1, (total + lanes - 1) // lanes)
-    if n_chunks == 1:
-        rngs = [stream(config.seed, "mc-single")]
-    else:
-        rngs = child_streams(config.seed, "mc-single", n_chunks)
-    bounds = [(i * lanes, min((i + 1) * lanes, total), rngs[i])
-              for i in range(n_chunks)]
-
-    def run_chunk(task):
-        start, stop, rng = task
-        sample = pdk.sample(stop - start, rng,
-                            include_global=config.include_global,
-                            include_mismatch=config.include_mismatch)
-        performance = evaluator(sample)
-        return {name: np.asarray(values, dtype=float).reshape(-1)
-                for name, values in performance.items()}
-
+    bounds = _plan_single_chunks(config)
+    run_chunk = _single_chunk_runner(evaluator, pdk, config)
     backend = resolve_backend(config.backend, config.workers)
     parts = _run_chunks(backend, run_chunk, bounds, progress, total)
     return {name: np.concatenate([part[name] for part in parts])

@@ -3,6 +3,13 @@
 Summary reductions used by the variation model and the experiment
 reports: robust descriptive statistics, sigma-based spread measures and
 process-capability indices.
+
+All reductions validate their populations the same way (at least two
+samples, no NaN) so a failed simulation lane can never fake a spread or
+capability number -- see :func:`_validate_population`.  The streaming
+counterparts of these reductions live in :mod:`repro.mc.streaming`;
+:func:`_cpk_from_moments` is shared between the batch and streaming Cpk
+so the two paths can never disagree on the degenerate-population rules.
 """
 
 from __future__ import annotations
@@ -33,13 +40,22 @@ class PopulationSummary:
                 f"range=[{self.minimum:.6g}, {self.maximum:.6g}]{unit}")
 
 
-def summarize(samples) -> PopulationSummary:
-    """Descriptive statistics of a 1-D sample array."""
+def _validate_population(samples) -> np.ndarray:
+    """Flatten and validate a sample population (shared by every
+    reduction here): at least two samples (``ddof=1`` is undefined below
+    that) and no NaN (a failed lane must be repaired upstream, never
+    silently averaged into a statistic)."""
     samples = np.asarray(samples, dtype=float).reshape(-1)
     if samples.size < 2:
         raise ValueError("need at least two samples")
     if np.any(np.isnan(samples)):
         raise ValueError("samples contain NaN; repair failed lanes first")
+    return samples
+
+
+def summarize(samples) -> PopulationSummary:
+    """Descriptive statistics of a 1-D sample array."""
+    samples = _validate_population(samples)
     return PopulationSummary(
         n=samples.size,
         mean=float(np.mean(samples)),
@@ -52,17 +68,70 @@ def summarize(samples) -> PopulationSummary:
     )
 
 
+#: Below this magnitude a population mean is treated as zero: the
+#: relative spread (k-sigma std over |mean|) is undefined there.  Shared
+#: by the batch and streaming spread reductions so the two paths can
+#: never disagree on the degenerate-mean rule.
+_DEGENERATE_MEAN = 1e-300
+
+
+def _mean_is_degenerate(mean) -> bool:
+    """True when any population mean is too close to zero for a
+    relative-spread statistic to be defined."""
+    return bool(np.any(np.abs(mean) < _DEGENERATE_MEAN))
+
+
 def relative_spread_pct(samples, k_sigma: float = 3.0, axis: int = -1):
     """``k_sigma * std / |mean| * 100`` along ``axis`` (vectorised).
 
     The same definition as
     :func:`repro.yieldmodel.variation.variation_percent`, provided here for
     ad-hoc analysis of raw MC arrays.
+
+    Raises
+    ------
+    ValueError
+        If the reduced axis holds fewer than two samples (``ddof=1``
+        would silently return NaN), if any sample is NaN, or if any
+        population mean is zero (the relative spread would silently
+        return ``+/-inf``) -- mirroring :func:`summarize`'s validation.
     """
     samples = np.asarray(samples, dtype=float)
+    if samples.ndim == 0 or samples.shape[axis] < 2:
+        raise ValueError("need at least two samples along the reduced axis")
+    if np.any(np.isnan(samples)):
+        raise ValueError("samples contain NaN; repair failed lanes first")
     mean = np.mean(samples, axis=axis)
     std = np.std(samples, axis=axis, ddof=1)
+    if _mean_is_degenerate(mean):
+        raise ValueError("population mean is zero; the relative spread "
+                         "is undefined")
     return k_sigma * std / np.abs(mean) * 100.0
+
+
+def _cpk_from_moments(mean: float, std: float, lower: float | None,
+                      upper: float | None) -> float:
+    """Cpk from a population's mean/std (shared batch/streaming core).
+
+    ``Cpk = min((USL - mean), (mean - LSL)) / (3*std)``; one-sided specs
+    use only their side.  A zero-spread (degenerate) population is judged
+    by its mean alone: ``+inf`` strictly inside the limits, ``-inf``
+    outside (a population sitting wholly beyond a limit is maximally
+    *in*capable, not perfectly capable), and ``0.0`` exactly on a limit.
+    """
+    if lower is None and upper is None:
+        raise ValueError("need at least one specification limit")
+    margins = []
+    if upper is not None:
+        margins.append(upper - mean)
+    if lower is not None:
+        margins.append(mean - lower)
+    worst = min(margins)
+    if std == 0.0:
+        if worst == 0.0:
+            return 0.0
+        return float("inf") if worst > 0.0 else float("-inf")
+    return worst / (3.0 * std)
 
 
 def cpk(samples, *, lower: float | None = None,
@@ -77,20 +146,14 @@ def cpk(samples, *, lower: float | None = None,
     ``+inf`` strictly inside the limits, ``-inf`` outside (a population
     sitting wholly beyond a limit is maximally *in*capable, not
     perfectly capable), and ``0.0`` exactly on a limit.
+
+    Validation is identical to :func:`summarize` (at least two samples,
+    no NaN), so a failed Monte-Carlo lane can never fake a capability
+    number by propagating NaN through the index.
     """
     if lower is None and upper is None:
         raise ValueError("need at least one specification limit")
-    samples = np.asarray(samples, dtype=float).reshape(-1)
+    samples = _validate_population(samples)
     mean = float(np.mean(samples))
     std = float(np.std(samples, ddof=1))
-    margins = []
-    if upper is not None:
-        margins.append(upper - mean)
-    if lower is not None:
-        margins.append(mean - lower)
-    worst = min(margins)
-    if std == 0.0:
-        if worst == 0.0:
-            return 0.0
-        return float("inf") if worst > 0.0 else float("-inf")
-    return worst / (3.0 * std)
+    return _cpk_from_moments(mean, std, lower, upper)

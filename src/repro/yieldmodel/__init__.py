@@ -1,7 +1,8 @@
 """The paper's combined performance + variation yield model."""
 
 from .cornercheck import CornerMCCheck, compare_corners_to_mc
-from .estimator import (YieldEstimate, estimate_yield, normal_interval,
+from .estimator import (YieldEstimate, estimate_yield,
+                        estimate_yield_streaming, normal_interval,
                         wilson_interval, z_value)
 from .importance import (ImportanceSamplingConfig, ImportanceSamplingEstimate,
                          estimate_yield_importance, global_sigmas,
@@ -12,8 +13,8 @@ from .variation import (DEFAULT_K_SIGMA, smooth_along_front,
 
 __all__ = [
     "CornerMCCheck", "compare_corners_to_mc",
-    "YieldEstimate", "estimate_yield", "wilson_interval", "normal_interval",
-    "z_value",
+    "YieldEstimate", "estimate_yield", "estimate_yield_streaming",
+    "wilson_interval", "normal_interval", "z_value",
     "ImportanceSamplingConfig", "ImportanceSamplingEstimate",
     "estimate_yield_importance", "global_sigmas", "shifted_sample",
     "CombinedYieldModel", "GuardBandedTarget", "YieldTargetedDesign",

@@ -17,7 +17,7 @@ import numpy as np
 from ..measure.specs import SpecSet
 
 __all__ = ["z_value", "wilson_interval", "normal_interval", "YieldEstimate",
-           "estimate_yield"]
+           "estimate_yield", "estimate_yield_streaming"]
 
 
 def z_value(confidence: float) -> float:
@@ -155,3 +155,67 @@ def estimate_yield(performance: dict[str, np.ndarray],
         per_spec_pass=per_spec,
         confidence=confidence,
     )
+
+
+def estimate_yield_streaming(evaluator, pdk, specs: SpecSet,
+                             config=None, *, adaptive=None,
+                             checkpoint=None, max_chunks=None,
+                             sketch_capacity: int | None = None,
+                             confidence: float | None = None,
+                             stage: str = "mc-single", progress=None):
+    """Streaming (optionally adaptive) Monte-Carlo yield estimation.
+
+    Drives :func:`repro.mc.streaming.monte_carlo_streaming` with a
+    :class:`~repro.mc.streaming.YieldCounter` and converts the streaming
+    pass counts into the same :class:`YieldEstimate` that
+    :func:`estimate_yield` builds from a materialised population --
+    without ever holding that population in memory.  With an
+    :class:`~repro.mc.streaming.AdaptiveStop` the run terminates as soon
+    as the Wilson interval is narrower than the requested width, which
+    is how a verification reaches a stated precision with the fewest
+    simulated lanes.
+
+    Parameters
+    ----------
+    evaluator:
+        Callable ``(ProcessSample) -> dict[name, (S,) array]`` (the
+        :func:`repro.mc.engine.monte_carlo` contract).
+    specs:
+        The specification set (all specs must pass for a die to count).
+    config:
+        :class:`repro.mc.engine.MCConfig`; ``n_samples`` is the exact
+        count, or the cap when ``adaptive`` is given.
+    adaptive, checkpoint, max_chunks, stage, progress:
+        Forwarded to :func:`monte_carlo_streaming` (adaptive stopping,
+        checkpoint/resume, invocation sharding, stream stage key).
+    confidence:
+        Confidence level of the returned estimate's Wilson interval.
+        ``None`` (the default) follows ``adaptive.confidence`` when an
+        adaptive rule is given -- the reported interval must be the one
+        the run actually stopped on -- and 0.95 otherwise.
+
+    Returns
+    -------
+    ``(estimate, streaming)`` -- the :class:`YieldEstimate` and the full
+    :class:`~repro.mc.streaming.StreamingResult` (per-performance
+    accumulators, stop state, chunk cursor).
+    """
+    # Runtime import: repro.mc must stay importable without repro.yieldmodel,
+    # and this keeps the one-way module-level dependency explicit.
+    from ..mc.streaming import DEFAULT_SKETCH_CAPACITY, monte_carlo_streaming
+    streaming = monte_carlo_streaming(
+        evaluator, pdk, config, specs=specs, adaptive=adaptive,
+        checkpoint=checkpoint, max_chunks=max_chunks,
+        sketch_capacity=(sketch_capacity if sketch_capacity is not None
+                         else DEFAULT_SKETCH_CAPACITY),
+        stage=stage, progress=progress)
+    if confidence is None:
+        confidence = streaming.confidence
+    counter = streaming.counter
+    estimate = YieldEstimate(
+        passed=counter.passed,
+        total=counter.total,
+        per_spec_pass=dict(counter.per_spec),
+        confidence=confidence,
+    )
+    return estimate, streaming

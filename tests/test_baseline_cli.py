@@ -108,3 +108,34 @@ class TestCLI:
         assert "unknown corner" in capsys.readouterr().err
         assert main(["build", "--reduced", "--vdd", "3.3;x"]) == 2
         assert "--vdd" in capsys.readouterr().err
+
+    def test_streaming_flags_parse(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["build", "--adaptive-ci", "0.05",
+             "--checkpoint", "mc.ckpt.npz"])
+        assert args.adaptive_ci == 0.05
+        assert args.checkpoint == "mc.ckpt.npz"
+
+    def test_bad_streaming_flags_fail_fast(self, capsys):
+        assert main(["build", "--reduced", "--adaptive-ci", "1.5"]) == 2
+        assert "--adaptive-ci" in capsys.readouterr().err
+        assert main(["build", "--reduced", "--adaptive-ci", "-0.1"]) == 2
+        assert "--adaptive-ci" in capsys.readouterr().err
+        # A checkpoint without the stage enabled is a configuration
+        # mistake, not a silent no-op.
+        assert main(["build", "--reduced",
+                     "--checkpoint", "mc.ckpt.npz"]) == 2
+        assert "--adaptive-ci" in capsys.readouterr().err
+
+    def test_streaming_build_and_artifacts(self, tmp_path, capsys):
+        checkpoint = tmp_path / "mc.ckpt.npz"
+        assert main(["build", "--reduced", "--generations", "6",
+                     "--corners", "tm", "--vdd", "3.3", "--temp", "27",
+                     "--adaptive-ci", "0.15",
+                     "--checkpoint", str(checkpoint),
+                     "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "streaming yield verification" in out
+        assert (tmp_path / "streaming_verification.txt").exists()
+        assert checkpoint.exists()

@@ -315,3 +315,65 @@ class TestYieldSearchStage:
     def test_disabled_by_default(self, reduced_flow):
         assert reduced_flow.yield_search is None
         assert reduced_flow.filter_yield_search is None
+
+
+class TestStreamingVerificationStage:
+    """Stage 4c: the streaming adaptive yield verification."""
+
+    @pytest.fixture(scope="class")
+    def streaming_flow(self):
+        config = dataclasses.replace(
+            reduced_config(), generations=6,
+            adaptive_ci=0.10, adaptive_max_samples=1000,
+            adaptive_chunk_lanes=32,
+            corners="tm", corner_vdds=(3.3,), corner_temps=(27.0,))
+        return run_model_build_flow(config)
+
+    def test_stage_runs_and_stops_adaptively(self, streaming_flow):
+        streaming = streaming_flow.streaming_verification
+        assert streaming is not None
+        assert streaming.complete
+        assert streaming.counter is not None
+        assert streaming.counter.total == streaming.samples_done
+        lo, hi = streaming.counter.interval()
+        if streaming.stopped_early:
+            assert hi - lo <= 0.10
+            assert streaming.samples_done < streaming.samples_cap
+
+    def test_costs_in_flow_ledger(self, streaming_flow):
+        record = streaming_flow.ledger.stages[
+            "streaming yield verification"]
+        assert record.simulations == \
+            streaming_flow.streaming_verification.samples_done
+
+    def test_artifacts_include_report(self, streaming_flow, tmp_path):
+        written = save_flow_artifacts(streaming_flow, tmp_path)
+        assert written["streaming_verification"].exists()
+        report = written["streaming_verification"].read_text()
+        assert "yield" in report and "gain_db" in report
+        summary = json.loads((tmp_path / "flow_summary.json").read_text())
+        entry = summary["streaming_verification"]
+        assert entry["total"] == \
+            streaming_flow.streaming_verification.samples_done
+        assert entry["wilson_interval"][0] <= entry["wilson_interval"][1]
+
+    def test_disabled_by_default(self, reduced_flow):
+        assert reduced_flow.streaming_verification is None
+
+    def test_stale_checkpoint_from_other_front_rejected(self, tmp_path):
+        # The checkpoint fingerprint binds the verified design (via the
+        # stage key): a build whose front differs must refuse to resume
+        # another build's verification rather than report its yield.
+        from repro.errors import ReproError
+        checkpoint = tmp_path / "verify.ckpt.npz"
+        base = dataclasses.replace(
+            reduced_config(), generations=6,
+            adaptive_ci=0.15, adaptive_max_samples=500,
+            adaptive_chunk_lanes=32,
+            streaming_checkpoint=str(checkpoint),
+            corners="none")
+        run_model_build_flow(base)
+        assert checkpoint.exists()
+        with pytest.raises(ReproError, match="incompatible"):
+            run_model_build_flow(
+                dataclasses.replace(base, generations=8))

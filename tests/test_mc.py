@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ReproError
 from repro.mc import (MCConfig, PopulationSummary, child_streams, cpk,
                       latin_hypercube_normal, monte_carlo,
                       monte_carlo_points, relative_spread_pct, stream,
@@ -141,6 +142,72 @@ class TestStatistics:
 
     def test_cpk_zero_std_on_the_limit(self):
         assert cpk([5.0, 5.0, 5.0], upper=5.0) == 0.0
+
+    def test_relative_spread_zero_mean_raises(self):
+        # Regression: a zero-mean population used to silently return
+        # +/-inf; the relative spread is undefined there.
+        with pytest.raises(ValueError, match="mean is zero"):
+            relative_spread_pct([-1.0, 1.0])
+        with pytest.raises(ValueError, match="mean is zero"):
+            # Vectorised form: one zero-mean row poisons the call.
+            relative_spread_pct(np.array([[1.0, 3.0], [-1.0, 1.0]]))
+
+    def test_relative_spread_single_sample_raises(self):
+        # Regression: a length-1 axis used to return NaN from ddof=1
+        # with only a RuntimeWarning; it must raise like summarize.
+        with pytest.raises(ValueError, match="at least two"):
+            relative_spread_pct([5.0])
+        with pytest.raises(ValueError, match="at least two"):
+            relative_spread_pct(np.ones((4, 1)), axis=-1)
+
+    def test_relative_spread_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            relative_spread_pct([1.0, np.nan, 3.0])
+
+    def test_relative_spread_valid_axis(self):
+        # axis=0 with >= 2 rows is fine even when other axes are short.
+        data = np.array([[99.0], [101.0]])
+        np.testing.assert_allclose(relative_spread_pct(data, axis=0),
+                                   [3.0 * np.std(data, ddof=1) / 100.0
+                                    * 100.0])
+
+    def test_cpk_rejects_nan(self):
+        # Regression: summarize rejects NaN samples but cpk used to
+        # silently propagate them into a NaN index -- a failed lane
+        # could fake a capability number.
+        with pytest.raises(ValueError, match="NaN"):
+            cpk([1.0, np.nan, 3.0], lower=0.0)
+
+    def test_cpk_single_sample_raises(self):
+        # Validation identical to summarize: ddof=1 needs n >= 2.
+        with pytest.raises(ValueError, match="at least two"):
+            cpk([5.0], lower=0.0)
+
+
+class TestMCConfigValidation:
+    """Degenerate configurations must fail at construction, not deep
+    inside the engine (a zero-lane chunk used to crash later at
+    ``parts[0]`` or inside ``pdk.sample``)."""
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ReproError, match="n_samples"):
+            MCConfig(n_samples=0)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ReproError, match="n_samples"):
+            MCConfig(n_samples=-5)
+
+    def test_zero_chunk_lanes_rejected(self):
+        with pytest.raises(ReproError, match="chunk_lanes"):
+            MCConfig(chunk_lanes=0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ReproError, match="workers"):
+            MCConfig(workers=-1)
+
+    def test_valid_boundaries_accepted(self):
+        config = MCConfig(n_samples=1, chunk_lanes=1, workers=0)
+        assert config.n_samples == 1 and config.chunk_lanes == 1
 
 
 class TestEngineSingle:
