@@ -69,6 +69,17 @@ class BehavioralOTA(Element):
         # Output branch current, plus the internal pole state when present.
         return 1 if self.parasitic_pole_hz is None else 2
 
+    def lint_branches(self):
+        """Topology-lint classification (see :mod:`repro.lint.graph`).
+
+        The output stage is a Thevenin source, so it pins the output
+        voltage (DC-conducting); the inputs are ideal sense terminals.
+        Unity-feedback wiring (output tied to an input) is a legitimate
+        configuration, so tied pairs produce no branch at all.
+        """
+        out, inp, inn = self.nodes
+        return [(out, ref, "resistive") for ref in (inp, inn) if ref != out]
+
     def batch_size(self) -> int:
         extras = () if self.parasitic_pole_hz is None else (self.parasitic_pole_hz,)
         return _param_batch(self.gain, self.ro, *extras)

@@ -71,6 +71,12 @@ class Element:
     #: Set by nonlinear subclasses; tells the DC solver to call ``load``.
     nonlinear: bool = False
 
+    #: 1-based source line of the card that produced this element, when
+    #: it came from a parsed netlist (set by the parser; ``None`` for
+    #: programmatically built circuits).  Lint findings use it to point
+    #: back into the netlist text.
+    line_no: int | None = None
+
     def __init__(self, name: str, nodes: Iterable[str]) -> None:
         if not name:
             raise NetlistError("element name must be non-empty")

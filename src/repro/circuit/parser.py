@@ -8,13 +8,19 @@ plain text (the flow's "netlist generation" step, section 3.1):
   ``X`` (subcircuit instance);
 * ``.model`` cards for MOSFET model parameters (``nmos``/``pmos``);
 * ``.subckt`` / ``.ends`` definitions with positional ports, flattened at
-  instantiation with dotted name prefixes (``X1.node``);
+  instantiation with dotted name prefixes (``X1.node``); subcircuits may
+  instantiate other subcircuits (recursive flattening, guarded by
+  :attr:`NetlistParser.MAX_FLATTEN_DEPTH` against self-reference);
+* ``.global`` nodes that bypass subcircuit prefixing (supply rails);
 * ``.param`` for simple numeric parameters usable in later expressions;
 * ``+`` continuation lines, ``*`` and ``;`` comments, engineering-notation
   values (``10u``, ``5meg``), ``key=value`` element parameters;
 * sources accept ``DC <v>`` and ``AC <mag> [phase]`` specifications.
 
 The parser produces a flat :class:`~repro.circuit.netlist.Circuit`.
+Every element records the 1-based source line of its card
+(``element.line_no``) so downstream diagnostics -- notably the
+:mod:`repro.lint` topology checker -- can point back into the netlist.
 """
 
 from __future__ import annotations
@@ -38,6 +44,8 @@ class SubcircuitDef:
     name: str
     ports: tuple[str, ...]
     cards: list[tuple[int, str]] = field(default_factory=list)
+    #: Source line of the ``.subckt`` header (0 when built by hand).
+    line_no: int = 0
 
 
 @dataclass
@@ -94,12 +102,24 @@ def _split_params(tokens: list[str]) -> tuple[list[str], dict[str, str]]:
 class NetlistParser:
     """Stateful SPICE-netlist parser; use :func:`parse_netlist` normally."""
 
+    #: Recursive subcircuit-flattening depth guard: a definition that
+    #: (transitively) instantiates itself would otherwise recurse until
+    #: the interpreter stack dies.  32 nesting levels is far beyond any
+    #: real analogue hierarchy.
+    MAX_FLATTEN_DEPTH = 32
+
     def __init__(self, *, models: dict[str, MOSModel] | None = None) -> None:
         #: MOSFET model cards by lower-case name; pre-seeded models allow a
         #: process card (PDK) to be injected without ``.model`` lines.
         self.models: dict[str, MOSModel] = dict(models or {})
         self.subcircuits: dict[str, SubcircuitDef] = {}
         self.parameters: dict[str, float] = {}
+        #: ``.global`` nodes: never prefixed inside subcircuits.
+        self.global_nodes: set[str] = set()
+        #: Subcircuit names that were actually instantiated (lint:
+        #: ``subckt-unused``).
+        self.instantiated: set[str] = set()
+        self._flatten_depth = 0
 
     # -- public entry point ---------------------------------------------------
     def parse(self, text: str, title: str = "") -> Circuit:
@@ -120,7 +140,8 @@ class NetlistParser:
                         raise ParseError(".subckt needs a name and >=1 port",
                                          card.line_no, card.text)
                     pending_subckt = SubcircuitDef(
-                        name=tokens[1].lower(), ports=tuple(tokens[2:]))
+                        name=tokens[1].lower(), ports=tuple(tokens[2:]),
+                        line_no=card.line_no)
                 elif head == ".ends":
                     if pending_subckt is None:
                         raise ParseError(".ends without .subckt",
@@ -133,6 +154,8 @@ class NetlistParser:
                     self._parse_model(card)
                 elif head == ".param":
                     self._parse_param(card)
+                elif head == ".global":
+                    self._parse_global(card)
                 elif head == ".end":
                     break
                 elif head.startswith("."):
@@ -177,14 +200,35 @@ class NetlistParser:
     def _parse_param(self, card: _Card) -> None:
         _, params = _split_params(card.tokens[1:])
         for key, value in params.items():
-            self.parameters[key] = self._number(value)
+            self.parameters[key] = self._number(value, card)
 
-    def _number(self, token: str) -> float:
-        """Resolve a numeric token, allowing ``.param`` references."""
+    def _parse_global(self, card: _Card) -> None:
+        if len(card.tokens) < 2:
+            raise ParseError(".global needs at least one node name",
+                             card.line_no, card.text)
+        self.global_nodes.update(card.tokens[1:])
+
+    def _number(self, token: str, card: _Card | None = None) -> float:
+        """Resolve a numeric token, allowing ``.param`` references.
+
+        Raises
+        ------
+        ParseError
+            On a malformed number, carrying the card's line number --
+            not the bare :class:`ValueError` of :func:`parse_si`, whose
+            message cannot say *where* the bad value sits.
+        """
         lowered = token.lower()
         if lowered in self.parameters:
             return self.parameters[lowered]
-        return parse_si(token)
+        try:
+            return parse_si(token)
+        except ValueError:
+            raise ParseError(
+                f"malformed numeric value {token!r} (engineering notation "
+                f"or a .param name expected)",
+                card.line_no if card else None,
+                card.text if card else None) from None
 
     # -- element cards ----------------------------------------------------------
     def _parse_element(self, card: _Card, circuit: Circuit, prefix: str) -> None:
@@ -202,12 +246,14 @@ class NetlistParser:
         if handler is None:
             raise ParseError(f"unknown element type {tokens[0]!r}",
                              card.line_no, card.text)
-        handler(card, circuit, name, prefix)
+        element = handler(card, circuit, name, prefix)
+        if element is not None:
+            element.line_no = card.line_no
 
-    @staticmethod
-    def _map_node(node: str, prefix: str, port_map: dict[str, str] | None) -> str:
+    def _map_node(self, node: str, prefix: str,
+                  port_map: dict[str, str] | None) -> str:
         """Apply subcircuit port mapping / name prefixing to a node."""
-        if is_ground(node):
+        if is_ground(node) or node in self.global_nodes:
             return node
         if port_map is not None and node in port_map:
             return port_map[node]
@@ -223,15 +269,18 @@ class NetlistParser:
 
     def _element_r(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
-        circuit.add(Resistor(name, *nodes, self._number(card.tokens[3])))
+        return circuit.add(
+            Resistor(name, *nodes, self._number(card.tokens[3], card)))
 
     def _element_c(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
-        circuit.add(Capacitor(name, *nodes, self._number(card.tokens[3])))
+        return circuit.add(
+            Capacitor(name, *nodes, self._number(card.tokens[3], card)))
 
     def _element_l(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
-        circuit.add(Inductor(name, *nodes, self._number(card.tokens[3])))
+        return circuit.add(
+            Inductor(name, *nodes, self._number(card.tokens[3], card)))
 
     def _source_values(self, tokens: list[str], card: _Card):
         """Parse ``[DC] v [AC mag [phase]]`` source value tokens."""
@@ -246,25 +295,25 @@ class NetlistParser:
                 if i + 1 >= len(tokens):
                     raise ParseError("DC keyword needs a value",
                                      card.line_no, card.text)
-                dc = self._number(tokens[i + 1])
+                dc = self._number(tokens[i + 1], card)
                 i += 2
             elif token == "ac":
                 if i + 1 >= len(tokens):
                     raise ParseError("AC keyword needs a magnitude",
                                      card.line_no, card.text)
-                ac_mag = self._number(tokens[i + 1])
+                ac_mag = self._number(tokens[i + 1], card)
                 i += 2
                 if i < len(tokens):
                     try:
-                        ac_phase = self._number(tokens[i])
+                        ac_phase = self._number(tokens[i], card)
                         i += 1
-                    except (ValueError, KeyError):
-                        pass
+                    except ParseError:
+                        pass  # not a phase value; next keyword handles it
             else:
                 if seen_plain:
                     raise ParseError(f"unexpected source token {tokens[i]!r}",
                                      card.line_no, card.text)
-                dc = self._number(tokens[i])
+                dc = self._number(tokens[i], card)
                 seen_plain = True
                 i += 1
         return dc, ac_mag, ac_phase
@@ -272,44 +321,50 @@ class NetlistParser:
     def _element_v(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
         dc, ac_mag, ac_phase = self._source_values(card.tokens[3:], card)
-        circuit.add(VoltageSource(name, *nodes, dc,
-                                  ac_mag=ac_mag, ac_phase_deg=ac_phase))
+        return circuit.add(VoltageSource(name, *nodes, dc,
+                                         ac_mag=ac_mag,
+                                         ac_phase_deg=ac_phase))
 
     def _element_i(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
         dc, ac_mag, ac_phase = self._source_values(card.tokens[3:], card)
-        circuit.add(CurrentSource(name, *nodes, dc,
-                                  ac_mag=ac_mag, ac_phase_deg=ac_phase))
+        return circuit.add(CurrentSource(name, *nodes, dc,
+                                         ac_mag=ac_mag,
+                                         ac_phase_deg=ac_phase))
 
     def _element_e(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 4, prefix)
-        circuit.add(VCVS(name, *nodes, self._number(card.tokens[5])))
+        return circuit.add(
+            VCVS(name, *nodes, self._number(card.tokens[5], card)))
 
     def _element_g(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 4, prefix)
-        circuit.add(VCCS(name, *nodes, self._number(card.tokens[5])))
+        return circuit.add(
+            VCCS(name, *nodes, self._number(card.tokens[5], card)))
 
     def _element_f(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
         control = prefix + card.tokens[3]
-        circuit.add(CCCS(name, *nodes, control, self._number(card.tokens[4])))
+        return circuit.add(
+            CCCS(name, *nodes, control, self._number(card.tokens[4], card)))
 
     def _element_h(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
         control = prefix + card.tokens[3]
-        circuit.add(CCVS(name, *nodes, control, self._number(card.tokens[4])))
+        return circuit.add(
+            CCVS(name, *nodes, control, self._number(card.tokens[4], card)))
 
     def _element_d(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 2, prefix)
         _, params = _split_params(card.tokens[3:])
         kwargs = {}
         if "is" in params:
-            kwargs["i_s"] = parse_si(params["is"])
+            kwargs["i_s"] = self._number(params["is"], card)
         if "n" in params:
-            kwargs["n"] = parse_si(params["n"])
+            kwargs["n"] = self._number(params["n"], card)
         if "cj0" in params:
-            kwargs["cj0"] = parse_si(params["cj0"])
-        circuit.add(Diode(name, *nodes, **kwargs))
+            kwargs["cj0"] = self._number(params["cj0"], card)
+        return circuit.add(Diode(name, *nodes, **kwargs))
 
     def _element_m(self, card, circuit, name, prefix):
         nodes = self._nodes(card, 4, prefix)
@@ -322,11 +377,11 @@ class NetlistParser:
             raise ParseError(f"undefined MOSFET model {model_name!r}",
                              card.line_no, card.text)
         _, params = _split_params(rest[1:])
-        w = parse_si(params.get("w", "10u"))
-        length = parse_si(params.get("l", "1u"))
-        m = parse_si(params.get("m", "1"))
-        circuit.add(Mosfet(name, *nodes, self.models[model_name],
-                           w, length, m=m))
+        w = self._number(params.get("w", "10u"), card)
+        length = self._number(params.get("l", "1u"), card)
+        m = self._number(params.get("m", "1"), card)
+        return circuit.add(Mosfet(name, *nodes, self.models[model_name],
+                                  w, length, m=m))
 
     def _element_x(self, card, circuit, name, prefix):
         tokens = card.tokens
@@ -347,15 +402,23 @@ class NetlistParser:
         resolved_outer = [self._map_node(n, prefix, port_map)
                           for n in outer_nodes]
         inner_map = dict(zip(definition.ports, resolved_outer))
+        self.instantiated.add(subckt_name)
 
+        if self._flatten_depth >= self.MAX_FLATTEN_DEPTH:
+            raise ParseError(
+                f"subcircuit nesting deeper than {self.MAX_FLATTEN_DEPTH} "
+                f"while flattening {subckt_name!r} -- recursive "
+                f"instantiation?", card.line_no, card.text)
         saved_map = getattr(self, "_active_port_map", None)
         self._active_port_map = inner_map
+        self._flatten_depth += 1
         inner_prefix = name + "."
         try:
             for line_no, text in definition.cards:
                 self._parse_element(_Card(line_no, text), circuit, inner_prefix)
         finally:
             self._active_port_map = saved_map
+            self._flatten_depth -= 1
 
 
 def parse_netlist(text: str, *, title: str = "",

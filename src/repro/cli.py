@@ -6,7 +6,9 @@ Subcommands mirror the paper's experiments:
 * ``target``  -- query a saved model with a specification (Table 3);
 * ``filter``  -- run the filter application flow on a saved model
   (section 5);
-* ``table1``  -- print the design-parameter space (Table 1).
+* ``table1``  -- print the design-parameter space (Table 1);
+* ``lint``    -- topology-lint netlist files without simulating them
+  (exit 0 when clean, 1 on errors -- or on warnings with ``--strict``).
 
 Paper-scale runs take a couple of minutes; pass ``--reduced`` for a
 seconds-scale smoke run.
@@ -27,6 +29,7 @@ from .flow.artifacts import rebuild_model, save_flow_artifacts
 from .flow.filter_flow import FilterFlowConfig, run_filter_flow
 from .flow.pipeline import (paper_scale_config, reduced_config,
                             run_model_build_flow)
+from .lint import LINT_MODES, lint_file
 from .measure.specs import Spec, SpecSet
 
 __all__ = ["main"]
@@ -95,7 +98,8 @@ def _cmd_build(args) -> int:
             yield_target=args.yield_target,
             fidelity_budget=args.fidelity_budget,
             adaptive_ci=args.adaptive_ci,
-            streaming_checkpoint=args.checkpoint)
+            streaming_checkpoint=args.checkpoint,
+            lint=args.lint)
         config.corner_grid(C35)  # fail fast on unknown corner names
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -144,6 +148,24 @@ def _cmd_filter(args) -> int:
     print()
     print(result.ledger.table())
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    reports = []
+    for path in args.netlists:
+        try:
+            reports.append(lint_file(path, models=C35.models))
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render_text())
+    return max(report.exit_code(strict=args.strict) for report in reports)
 
 
 def _cmd_table1(_args) -> int:
@@ -218,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--yield-target", type=float, default=0.90,
                        help="target yield of the stage-7 estimator-ladder "
                             "escalation and chance penalty (default 0.90)")
+    build.add_argument("--lint", default="strict", choices=list(LINT_MODES),
+                       help="stage-0 pre-flight topology lint of the "
+                            "testbench: strict (default) fails fast on "
+                            "error findings, warn only reports, off skips "
+                            "the stage")
     build.add_argument("--fidelity-budget", type=int, default=0,
                        help="simulator-call budget bounding the stage-7 "
                             "ladder's escalation per search; the corner "
@@ -239,6 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--samples", type=int, default=500,
                       help="verification MC samples (default 500)")
     filt.set_defaults(func=_cmd_filter)
+
+    lint = sub.add_parser(
+        "lint", help="topology-lint netlist files without simulating",
+        description="Parse SPICE netlist files and run the topology lint "
+                    "rules (repro.lint) over each.  Exit status: 0 when "
+                    "every file is clean, 1 when any file has "
+                    "error-severity findings (or any finding at all with "
+                    "--strict), 2 when a file cannot be read.")
+    lint.add_argument("netlists", nargs="+", metavar="netlist",
+                      help="netlist file(s) to check")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as failures (nonzero exit)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit one JSON array of report objects instead "
+                           "of text")
+    lint.set_defaults(func=_cmd_lint)
 
     table1 = sub.add_parser("table1", help="print the Table-1 design space")
     table1.set_defaults(func=_cmd_table1)

@@ -9,6 +9,10 @@ The hierarchy mirrors the subsystems described in ``DESIGN.md``:
 * :class:`NetlistError` -- malformed circuit descriptions.
 * :class:`ParseError` -- errors in the SPICE-like netlist parser, carrying
   the offending line number.
+* :class:`LintError` -- misuse of the topology-lint subsystem; its
+  subclass :class:`LintGateError` is the pre-flight gate verdict raised
+  when a flow rejects a topologically broken circuit, carrying the full
+  :class:`~repro.lint.LintReport`.
 * :class:`AnalysisError` -- simulation failures; the important subclass is
   :class:`ConvergenceError` raised when the Newton-Raphson DC solver fails
   even after the homotopy fallbacks.
@@ -58,6 +62,29 @@ class ParseError(NetlistError):
         if line is not None:
             message = f"{message}\n    {line.strip()!r}"
         super().__init__(message)
+
+
+class LintError(NetlistError):
+    """The topology-lint subsystem was misused (unknown rule id,
+    unknown lint mode, duplicate rule registration)."""
+
+
+class LintGateError(LintError):
+    """A pre-flight lint gate rejected the circuit.
+
+    Raised by :func:`repro.lint.preflight_lint` in ``strict`` mode when
+    error-severity findings exist, *before* any simulation budget is
+    spent -- the readable replacement for the singular-matrix crash the
+    broken circuit would otherwise cause.  Carries the full
+    :class:`~repro.lint.LintReport` as :attr:`report`.
+    """
+
+    def __init__(self, report, stage: str = "pre-flight lint") -> None:
+        self.report = report
+        self.stage = stage
+        super().__init__(
+            f"{stage}: circuit rejected with "
+            f"{report.count('error')} error(s)\n{report.render_text()}")
 
 
 class AnalysisError(ReproError):

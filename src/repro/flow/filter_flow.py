@@ -38,6 +38,7 @@ from ..designs.filter2 import (FilterCaps, FilterSpec,
 from ..designs.ota import OTAParameters
 from ..designs.problems import BehavioralFilterProblem
 from ..errors import YieldModelError
+from ..lint import preflight_lint
 from ..mc.engine import MCConfig, monte_carlo
 from ..mc.sampler import stream
 from ..measure.specs import Spec, SpecSet
@@ -61,6 +62,12 @@ class FilterFlowConfig:
     verification_samples: int = 500
     seed: int = 2008
     spec: FilterSpec = field(default_factory=FilterSpec)
+    #: Topology lint of the chosen behavioural filter and the transistor
+    #: verification testbench, run before the Monte-Carlo budget is
+    #: spent: ``"strict"`` rejects error findings with
+    #: :class:`~repro.errors.LintGateError`, ``"warn"`` only reports,
+    #: ``"off"`` skips the checks.
+    lint: str = "strict"
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.individuals,
@@ -165,6 +172,9 @@ def run_filter_flow(model: CombinedYieldModel,
 
     Raises
     ------
+    LintGateError
+        If ``config.lint == "strict"`` and a verification circuit has
+        error-severity topology findings.
     YieldModelError
         If the OTA model cannot meet the OTA spec at 100 % yield, or no
         capacitor choice satisfies the filter mask.
@@ -221,6 +231,10 @@ def run_filter_flow(model: CombinedYieldModel,
         chosen_circuit = build_filter_behavioral(
             caps, ota_gain_db=ota_gain_db, ota_ro=ota_ro,
             parasitic_pole_hz=parasitic_pole)
+        if config.lint != "off":
+            preflight_lint(chosen_circuit, config.lint,
+                           stage="filter-flow lint (behavioural)",
+                           progress=progress)
         nominal = {key: float(value[0]) for key, value in
                    evaluate_filter(chosen_circuit, spec=spec).items()}
     say(f"capacitors: C1={caps.c1 * 1e12:.1f}pF C2={caps.c2 * 1e12:.1f}pF "
@@ -229,8 +243,13 @@ def run_filter_flow(model: CombinedYieldModel,
         f"attenuation {nominal['atten_db']:.1f} dB)")
 
     # Step 4: transistor-level verification -- nominal + Monte Carlo.
+    # Lint the testbench before the Monte-Carlo budget is committed.
     with ledger.timed("transistor verification (nominal)", 1):
         nominal_circuit = build_filter_transistor(caps, ota_params, pdk=pdk)
+        if config.lint != "off":
+            preflight_lint(nominal_circuit, config.lint,
+                           stage="filter-flow lint (transistor)",
+                           progress=progress)
         transistor = {key: float(value[0]) for key, value in
                       evaluate_filter(nominal_circuit, spec=spec).items()}
 

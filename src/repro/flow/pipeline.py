@@ -2,6 +2,13 @@
 
 ``run_model_build_flow`` executes the model-building half of the paper:
 
+0. **Pre-flight topology lint** (``config.lint``) -- the OTA testbench
+   the whole flow is about to simulate thousands of times is checked by
+   :mod:`repro.lint` before any simulation budget is spent; in
+   ``strict`` mode a topologically broken circuit fails fast with a
+   readable :class:`~repro.errors.LintGateError` carrying the full
+   :class:`~repro.lint.LintReport` instead of a singular-matrix
+   traceback deep inside the optimiser.
 1. **Netlist / objective generation** -- the OTA problem over the Table-1
    parameter space (:class:`repro.designs.problems.OTAProblem`).
 2. **Multi-objective optimisation** -- WBGA, 100 generations x 100
@@ -55,9 +62,11 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (avoids a cycle:
 
 from ..corners import CornerGrid, CornerVerification, corner_sweep_points
 from ..designs.filter2 import DEFAULT_FILTER_SPEC
-from ..designs.ota import (OTA_DESIGN_SPACE, OTAParameters, evaluate_ota)
+from ..designs.ota import (OTA_DESIGN_SPACE, OTAParameters, build_ota,
+                           evaluate_ota)
 from ..designs.problems import OTAProblem, TransistorFilterProblem
 from ..errors import YieldModelError
+from ..lint import preflight_lint
 from ..mc.engine import MCConfig, monte_carlo_points
 from ..mc.sampler import stream
 from ..mc.streaming import AdaptiveStop
@@ -89,6 +98,13 @@ class FlowConfig:
     mc_samples: int = 200
     k_sigma: float = DEFAULT_K_SIGMA
     seed: int = 2008
+    #: Stage-0 pre-flight topology lint of the OTA testbench the flow is
+    #: about to simulate thousands of times: ``"strict"`` rejects
+    #: circuits with error findings by raising
+    #: :class:`~repro.errors.LintGateError` (carrying the full
+    #: :class:`~repro.lint.LintReport`), ``"warn"`` reports findings via
+    #: ``progress`` but continues, ``"off"`` skips the stage.
+    lint: str = "strict"
     cl: float = 10e-12
     ibias: float = 20e-6
     mc_chunk_lanes: int = 4000
@@ -337,6 +353,9 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
 
     Raises
     ------
+    LintGateError
+        If ``config.lint == "strict"`` and the stage-0 pre-flight lint
+        found error-severity topology problems in the testbench.
     YieldModelError
         If the optimisation produced no usable Pareto front (e.g. a
         degenerate configuration with too few evaluations).
@@ -344,6 +363,16 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
     config = config or FlowConfig()
     ledger = SimulationLedger()
     say = progress or (lambda message: None)
+
+    # Stage 0: pre-flight topology lint of the testbench, before any
+    # simulation budget is spent on it.
+    if config.lint != "off":
+        say(f"pre-flight lint ({config.lint}): OTA testbench")
+        testbench = build_ota(OTAParameters(), pdk=pdk, cl=config.cl,
+                              ibias=config.ibias)
+        preflight_lint(testbench, config.lint,
+                       stage="model-build pre-flight lint",
+                       progress=progress)
 
     # Stages 1+2: objective setup and WBGA optimisation.
     say(f"WBGA optimisation: {config.generations} generations x "

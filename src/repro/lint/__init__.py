@@ -1,0 +1,40 @@
+"""Netlist topology lint: the flow's pre-flight validation stage.
+
+A malformed netlist handed straight to the MNA solver dies as an opaque
+singular-matrix crash after the simulation budget is already spent.
+This package analyses the circuit *graph* first -- the same
+structure-before-numbers gating that Abel et al.'s hierarchical
+performance-equation library and iVAMS' validated Verilog-AMS front end
+apply before their model pipelines -- and produces a structured,
+human-readable report instead:
+
+* :class:`CircuitGraph` converts a :class:`~repro.circuit.netlist.Circuit`
+  into node/element adjacency views (hyperedges, physical branches,
+  DC-conducting subgraph);
+* :mod:`~repro.lint.rules` runs an ordered, extensible rule registry
+  over the graph (floating nodes, islands, missing ground, capacitor /
+  current-source cuts with no DC path, voltage-source loops, shorts,
+  duplicate names, dangling subcircuit ports);
+* :class:`LintReport` aggregates the :class:`Finding` s with text and
+  JSON renderers and the CLI exit-code convention;
+* :func:`preflight_lint` gates the flow entry points
+  (``FlowConfig.lint = strict | warn | off``), raising
+  :class:`~repro.errors.LintGateError` with the report attached.
+
+The CLI verb is ``repro lint <netlist.cir>``; the rule catalogue lives
+in ``docs/lint.md``.
+"""
+
+from .check import (LINT_MODES, lint_circuit, lint_file, lint_netlist,
+                    preflight_lint)
+from .graph import BRANCH_KINDS, DC_KINDS, Branch, CircuitGraph
+from .report import SEVERITIES, Finding, LintReport
+from .rules import LINT_RULES, LintContext, LintRule, iter_rules, rule
+
+__all__ = [
+    "SEVERITIES", "Finding", "LintReport",
+    "BRANCH_KINDS", "DC_KINDS", "Branch", "CircuitGraph",
+    "LINT_RULES", "LintContext", "LintRule", "iter_rules", "rule",
+    "LINT_MODES", "lint_circuit", "lint_netlist", "lint_file",
+    "preflight_lint",
+]

@@ -1,0 +1,224 @@
+"""Node/element adjacency graph of a circuit, for topology lint.
+
+Every lint rule reasons over one of three views of the circuit:
+
+* **hyperedge adjacency** -- two nodes are neighbours when any element
+  references both (a MOSFET connects its gate to its channel nodes in
+  this view).  Used for reachability-from-ground (island detection).
+* **branch list** -- the physical two-terminal branches with a
+  conduction *kind* (``resistive``, ``capacitive``, ``inductive``,
+  ``vsource``, ``isource``, ``channel``).  Controlled-source sense
+  terminals and MOSFET gate/bulk pins are *reference* attachments, not
+  branches: they read a voltage but conduct nothing.
+* **DC adjacency** -- branch adjacency restricted to kinds that conduct
+  at DC (everything except capacitors and current sources).  Used for
+  the singular-MNA rules (no DC path to ground, current-source
+  cutsets).
+
+Ground aliases (``0``/``gnd``, case-insensitive) are canonicalised to a
+single node ``"0"`` so a net tied to ``GND`` and one tied to ``0`` are
+recognised as connected.
+
+Elements outside the built-in table (custom :class:`Element`
+subclasses, e.g. the behavioural OTA macromodel) are classified
+conservatively: all their nodes are treated as one DC-conducting
+branch group, so unknown devices can never cause false positives.  An
+element class may override this by providing a ``lint_branches()``
+method returning ``[(node_a, node_b, kind), ...]``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from ..circuit import (CCCS, CCVS, VCCS, VCVS, Capacitor, CurrentSource,
+                       Diode, Inductor, Mosfet, Resistor, VoltageSource)
+from ..circuit.netlist import Circuit, Element, is_ground
+
+__all__ = ["BRANCH_KINDS", "DC_KINDS", "Branch", "CircuitGraph"]
+
+#: All recognised branch conduction kinds.
+BRANCH_KINDS: tuple[str, ...] = ("resistive", "capacitive", "inductive",
+                                 "vsource", "isource", "channel")
+
+#: Kinds that conduct at DC (a capacitor is open, a current source
+#: enforces a current but pins no voltage).
+DC_KINDS: frozenset[str] = frozenset(
+    {"resistive", "inductive", "vsource", "channel"})
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One physical two-terminal branch of an element."""
+
+    element: str
+    a: str
+    b: str
+    kind: str
+
+    @property
+    def shorted(self) -> bool:
+        """Both terminals on the same node."""
+        return self.a == self.b
+
+    def conducts_dc(self) -> bool:
+        return self.kind in DC_KINDS
+
+
+def _canonical(node: str) -> str:
+    """Collapse ground aliases onto the single name ``"0"``."""
+    return "0" if is_ground(node) else node
+
+
+def _classify(element: Element) -> tuple[list[tuple[str, str, str]],
+                                         list[str]]:
+    """Split an element into branches ``(a, b, kind)`` and reference-only
+    terminal nodes."""
+    override = getattr(element, "lint_branches", None)
+    if override is not None:
+        return list(override()), []
+    n = element.nodes
+    if isinstance(element, Resistor):
+        return [(n[0], n[1], "resistive")], []
+    if isinstance(element, Capacitor):
+        return [(n[0], n[1], "capacitive")], []
+    if isinstance(element, Inductor):
+        return [(n[0], n[1], "inductive")], []
+    if isinstance(element, VoltageSource):
+        return [(n[0], n[1], "vsource")], []
+    if isinstance(element, CurrentSource):
+        return [(n[0], n[1], "isource")], []
+    if isinstance(element, VCVS):
+        return [(n[0], n[1], "vsource")], [n[2], n[3]]
+    if isinstance(element, VCCS):
+        return [(n[0], n[1], "isource")], [n[2], n[3]]
+    if isinstance(element, CCVS):
+        return [(n[0], n[1], "vsource")], []
+    if isinstance(element, CCCS):
+        return [(n[0], n[1], "isource")], []
+    if isinstance(element, Diode):
+        return [(n[0], n[1], "resistive")], []
+    if isinstance(element, Mosfet):
+        # Channel conducts drain-source; gate and bulk only sense.
+        return [(n[0], n[2], "channel")], [n[1], n[3]]
+    # Unknown element: conservatively treat every distinct node pair as
+    # a DC-conducting branch so custom devices never false-positive
+    # (tied-terminal pairs are skipped -- we cannot judge whether a
+    # short is meaningful for a device we do not know).
+    branches = [(n[i], n[j], "resistive")
+                for i in range(len(n)) for j in range(i + 1, len(n))
+                if _canonical(n[i]) != _canonical(n[j])]
+    return branches, []
+
+
+class CircuitGraph:
+    """Adjacency views of a :class:`Circuit` for the lint rules.
+
+    Attributes
+    ----------
+    nodes:
+        All canonical node names, including ``"0"`` when grounded.
+    terminal_count:
+        Node -> number of element terminals referencing it.
+    touching:
+        Node -> names of the elements referencing it.
+    branches:
+        All physical :class:`Branch` es, in element order.
+    adjacency, dc_adjacency:
+        Node -> neighbour set over hyperedges / DC branches.
+    has_ground:
+        Whether any element references a ground alias.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.nodes: set[str] = set()
+        self.terminal_count: Counter[str] = Counter()
+        self.touching: dict[str, list[str]] = defaultdict(list)
+        self.branches: list[Branch] = []
+        self.adjacency: dict[str, set[str]] = defaultdict(set)
+        self.dc_adjacency: dict[str, set[str]] = defaultdict(set)
+        self.has_ground = False
+
+        for element in circuit:
+            canonical = [_canonical(n) for n in element.nodes]
+            self.has_ground = self.has_ground or "0" in canonical
+            self.nodes.update(canonical)
+            for node in canonical:
+                self.terminal_count[node] += 1
+                if element.name not in self.touching[node]:
+                    self.touching[node].append(element.name)
+            # Hyperedge: every node of the element is mutually adjacent.
+            distinct = sorted(set(canonical))
+            for i, a in enumerate(distinct):
+                for b in distinct[i + 1:]:
+                    self.adjacency[a].add(b)
+                    self.adjacency[b].add(a)
+            branch_pairs, _ = _classify(element)
+            for a, b, kind in branch_pairs:
+                branch = Branch(element.name, _canonical(a), _canonical(b),
+                                kind)
+                self.branches.append(branch)
+                if branch.conducts_dc() and not branch.shorted:
+                    self.dc_adjacency[branch.a].add(branch.b)
+                    self.dc_adjacency[branch.b].add(branch.a)
+
+    # -- traversals ---------------------------------------------------------
+    def _reachable(self, start: str,
+                   adjacency: dict[str, set[str]]) -> set[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for neighbour in adjacency[stack.pop()]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return seen
+
+    def reachable_from_ground(self) -> set[str]:
+        """Nodes connected to ground through *any* element."""
+        if not self.has_ground:
+            return set()
+        return self._reachable("0", self.adjacency)
+
+    def dc_reachable_from_ground(self) -> set[str]:
+        """Nodes with a DC-conducting path to ground."""
+        if not self.has_ground:
+            return set()
+        return self._reachable("0", self.dc_adjacency)
+
+    def components(self, nodes: set[str],
+                   adjacency: dict[str, set[str]] | None = None
+                   ) -> list[set[str]]:
+        """Partition ``nodes`` into connected components (restricted to
+        ``nodes``) under ``adjacency`` (default: hyperedge adjacency)."""
+        adjacency = adjacency if adjacency is not None else self.adjacency
+        remaining = set(nodes)
+        out: list[set[str]] = []
+        while remaining:
+            start = remaining.pop()
+            seen = {start}
+            stack = [start]
+            while stack:
+                for neighbour in adjacency[stack.pop()]:
+                    if neighbour in remaining:
+                        remaining.discard(neighbour)
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+            out.append(seen)
+        return out
+
+    def boundary_branches(self, component: set[str]) -> list[Branch]:
+        """Branches with exactly one endpoint inside ``component``."""
+        return [b for b in self.branches
+                if (b.a in component) != (b.b in component)]
+
+    def line_of(self, *element_names: str) -> int | None:
+        """Source line of the first named element that has one."""
+        for name in element_names:
+            if name in self.circuit:
+                line_no = getattr(self.circuit.element(name), "line_no", None)
+                if line_no is not None:
+                    return line_no
+        return None

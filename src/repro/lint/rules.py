@@ -1,0 +1,367 @@
+"""The lint rule registry and the built-in topology rules.
+
+A rule is a generator function over a :class:`LintContext` yielding
+:class:`~repro.lint.report.Finding` s, registered with the
+:func:`rule` decorator.  The registry is ordered and extensible: new
+checks (service-layer quota rules, PDK-specific device checks...)
+register themselves the same way the built-ins do, and callers can
+select subsets by id.
+
+Built-in catalogue (see ``docs/lint.md`` for examples):
+
+========================  ========  ==========================================
+id                        severity  detects
+========================  ========  ==========================================
+``missing-ground``        error     no ground reference anywhere
+``duplicate-element``     error     case-insensitive element-name collision
+``floating-node``         warning   node referenced by fewer than two terminals
+``disconnected-island``   error     component unreachable from ground
+``no-dc-path``            error     node without a DC path to ground
+``isource-cutset``        error     supernode fed only by current sources
+``vsource-loop``          error     loop of voltage sources / inductors
+``shorted-element``       error/    element with both branch terminals on
+                          warning   one node
+``subckt-port-unused``    warning   declared subcircuit port never connected
+``subckt-unused``         info      subcircuit defined but never instantiated
+========================  ========  ==========================================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..circuit.netlist import Circuit
+from ..errors import LintError
+from .graph import CircuitGraph
+from .report import SEVERITIES, Finding
+
+__all__ = ["LintContext", "LintRule", "LINT_RULES", "rule", "iter_rules",
+           "run_rules"]
+
+
+@dataclass
+class LintContext:
+    """Everything a lint rule may inspect.
+
+    ``parser`` is the :class:`~repro.circuit.parser.NetlistParser` that
+    produced the circuit, when linting netlist text; rules that need
+    parser state (subcircuit definitions) skip silently when it is
+    absent (circuit built programmatically).
+    """
+
+    circuit: Circuit
+    graph: CircuitGraph
+    parser: object | None = None
+
+    def line_of(self, *element_names: str) -> int | None:
+        """Source line of the first named element carrying one."""
+        return self.graph.line_of(*element_names)
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: identifier, default severity, check function."""
+
+    rule_id: str
+    severity: str
+    summary: str
+    check: Callable[[LintContext], Iterator[Finding]]
+
+
+#: Ordered registry of every known rule, id -> :class:`LintRule`.
+LINT_RULES: dict[str, LintRule] = {}
+
+
+def rule(rule_id: str, severity: str, summary: str):
+    """Register a lint rule; decorator over a generator of findings."""
+    if severity not in SEVERITIES:
+        raise LintError(f"rule {rule_id!r}: unknown severity {severity!r}")
+
+    def decorator(check):
+        if rule_id in LINT_RULES:
+            raise LintError(f"duplicate lint rule id {rule_id!r}")
+        LINT_RULES[rule_id] = LintRule(rule_id, severity, summary, check)
+        return check
+    return decorator
+
+
+def iter_rules(only: Iterable[str] | None = None) -> list[LintRule]:
+    """The registered rules, optionally restricted to ids in ``only``."""
+    if only is None:
+        return list(LINT_RULES.values())
+    unknown = set(only) - set(LINT_RULES)
+    if unknown:
+        raise LintError(f"unknown lint rule id(s): {sorted(unknown)}")
+    wanted = set(only)
+    return [r for r in LINT_RULES.values() if r.rule_id in wanted]
+
+
+def run_rules(ctx: LintContext,
+              only: Iterable[str] | None = None) -> list[Finding]:
+    """Run the (selected) rules over ``ctx`` and collect their findings."""
+    findings: list[Finding] = []
+    for lint_rule in iter_rules(only):
+        findings.extend(lint_rule.check(ctx))
+    return findings
+
+
+def _name_list(names, limit: int = 6) -> str:
+    """Human-readable, truncated name enumeration."""
+    names = sorted(names)
+    if len(names) > limit:
+        shown = ", ".join(names[:limit])
+        return f"{shown}, ... ({len(names)} total)"
+    return ", ".join(names)
+
+
+# ---------------------------------------------------------------------------
+# structural rules
+# ---------------------------------------------------------------------------
+
+@rule("missing-ground", "error",
+      "the circuit references no ground node at all")
+def _check_missing_ground(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.graph.nodes and not ctx.graph.has_ground:
+        yield Finding(
+            "missing-ground", "error",
+            "circuit has no ground reference: no element connects to a "
+            "node named '0' or 'gnd'",
+            hint="tie the reference net to node 0 (or gnd); MNA needs a "
+                 "datum to measure node voltages against")
+
+
+@rule("duplicate-element", "error",
+      "two element names collide case-insensitively")
+def _check_duplicate_element(ctx: LintContext) -> Iterator[Finding]:
+    by_folded: dict[str, list[str]] = defaultdict(list)
+    for element in ctx.circuit:
+        by_folded[element.name.lower()].append(element.name)
+    for folded, names in by_folded.items():
+        if len(names) > 1:
+            yield Finding(
+                "duplicate-element", "error",
+                f"element names {_name_list(names)} collide "
+                f"case-insensitively (SPICE treats both as {folded!r})",
+                elements=tuple(sorted(names)),
+                line_no=ctx.line_of(*sorted(names)),
+                hint="rename one of them; SPICE netlists are "
+                     "case-insensitive, so these are one element to most "
+                     "simulators")
+
+
+@rule("floating-node", "warning",
+      "a node is referenced by fewer than two element terminals")
+def _check_floating_node(ctx: LintContext) -> Iterator[Finding]:
+    for node in sorted(ctx.graph.nodes):
+        if node == "0":
+            continue
+        if ctx.graph.terminal_count[node] < 2:
+            elements = tuple(ctx.graph.touching[node])
+            yield Finding(
+                "floating-node", "warning",
+                f"node {node!r} is referenced by only "
+                f"{ctx.graph.terminal_count[node]} terminal "
+                f"({_name_list(elements)}): it dangles",
+                nodes=(node,), elements=elements,
+                line_no=ctx.line_of(*elements),
+                hint="connect the node to a second element or remove the "
+                     "dangling terminal; a lone capacitor/current-source "
+                     "terminal also has no DC path")
+
+
+@rule("disconnected-island", "error",
+      "a connected component is unreachable from ground")
+def _check_disconnected_island(ctx: LintContext) -> Iterator[Finding]:
+    graph = ctx.graph
+    if not graph.has_ground:
+        return  # missing-ground already fired; every node would repeat it.
+    unreachable = graph.nodes - graph.reachable_from_ground() - {"0"}
+    for component in graph.components(unreachable):
+        elements: list[str] = []
+        for node in component:
+            for name in graph.touching[node]:
+                if name not in elements:
+                    elements.append(name)
+        yield Finding(
+            "disconnected-island", "error",
+            f"nodes {_name_list(component)} form an island with no "
+            f"connection to the rest of the circuit "
+            f"(elements {_name_list(elements)})",
+            nodes=tuple(sorted(component)), elements=tuple(elements),
+            line_no=ctx.line_of(*elements),
+            hint="every node must reach ground through some element; "
+                 "connect the island or delete it")
+
+
+@rule("no-dc-path", "error",
+      "a node has no DC-conducting path to ground (capacitor cut)")
+def _check_no_dc_path(ctx: LintContext) -> Iterator[Finding]:
+    yield from _dc_path_findings(ctx, want_cutset=False)
+
+
+@rule("isource-cutset", "error",
+      "a supernode connects to the circuit only through current sources")
+def _check_isource_cutset(ctx: LintContext) -> Iterator[Finding]:
+    yield from _dc_path_findings(ctx, want_cutset=True)
+
+
+def _dc_path_findings(ctx: LintContext, *,
+                      want_cutset: bool) -> Iterator[Finding]:
+    """Shared detector behind ``no-dc-path`` and ``isource-cutset``.
+
+    Both rules flag supernodes without a DC path to ground; they differ
+    in the boundary that isolates the supernode.  A boundary made of
+    current sources only is the classic KCL-overdetermined cutset
+    (``isource-cutset``); any other non-conducting boundary (capacitors,
+    MOSFET gates) is ``no-dc-path``.
+    """
+    graph = ctx.graph
+    if not graph.has_ground:
+        return
+    connected = graph.reachable_from_ground()
+    dc_connected = graph.dc_reachable_from_ground()
+    # Islands are already reported; only nodes attached to the circuit
+    # but isolated at DC are interesting here.
+    isolated = (connected - dc_connected) - {"0"}
+    for component in graph.components(isolated, graph.dc_adjacency):
+        boundary = graph.boundary_branches(component)
+        kinds = {branch.kind for branch in boundary}
+        is_cutset = bool(boundary) and kinds == {"isource"}
+        if is_cutset != want_cutset:
+            continue
+        elements = tuple(dict.fromkeys(b.element for b in boundary))
+        if want_cutset:
+            message = (f"nodes {_name_list(component)} connect to the "
+                       f"rest of the circuit only through current "
+                       f"sources ({_name_list(elements)}): KCL is "
+                       f"overdetermined and the MNA matrix is singular")
+            hint = ("give the supernode a DC return path (a resistor or "
+                    "a device channel); a current source pins no node "
+                    "voltage")
+        else:
+            via = _name_list(elements) if elements else \
+                "sense/gate terminals only"
+            message = (f"nodes {_name_list(component)} have no DC path "
+                       f"to ground (coupled through {via}): the DC "
+                       f"operating point is undefined")
+            hint = ("add a DC bias path -- capacitors are open and "
+                    "controlled-source sense terminals conduct nothing "
+                    "at DC")
+        yield Finding(
+            "isource-cutset" if want_cutset else "no-dc-path", "error",
+            message, nodes=tuple(sorted(component)), elements=elements,
+            line_no=ctx.line_of(*elements),
+            hint=hint)
+
+
+@rule("vsource-loop", "error",
+      "voltage sources and/or inductors form a loop (KVL overdetermined)")
+def _check_vsource_loop(ctx: LintContext) -> Iterator[Finding]:
+    parent: dict[str, str] = {}
+    members: dict[str, list[str]] = {}
+
+    def find(node: str) -> str:
+        parent.setdefault(node, node)
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    for branch in ctx.graph.branches:
+        if branch.kind not in ("vsource", "inductive") or branch.shorted:
+            continue  # self-loops are shorted-element findings
+        root_a, root_b = find(branch.a), find(branch.b)
+        if root_a == root_b:
+            loop = members.get(root_a, []) + [branch.element]
+            yield Finding(
+                "vsource-loop", "error",
+                f"{branch.element!r} closes a loop of voltage-source/"
+                f"inductor branches ({_name_list(loop)}): KVL around the "
+                f"loop is overdetermined and the DC MNA matrix is "
+                f"singular",
+                nodes=(branch.a, branch.b), elements=tuple(loop),
+                line_no=ctx.line_of(branch.element),
+                hint="break the loop with a resistance, or remove the "
+                     "redundant source (inductors are DC shorts, so "
+                     "they count)")
+        else:
+            parent[root_b] = root_a
+            merged = members.pop(root_a, []) + members.pop(root_b, [])
+            members[root_a] = merged + [branch.element]
+
+
+#: Branch kinds whose shorted variant zeroes an auxiliary MNA row
+#: (guaranteed singular) rather than merely stamping nothing.
+_SHORT_IS_FATAL = frozenset({"vsource", "inductive"})
+
+
+@rule("shorted-element", "warning",
+      "both branch terminals of an element land on the same node")
+def _check_shorted_element(ctx: LintContext) -> Iterator[Finding]:
+    for branch in ctx.graph.branches:
+        if not branch.shorted:
+            continue
+        fatal = branch.kind in _SHORT_IS_FATAL
+        what = {"vsource": "voltage source", "isource": "current source",
+                "inductive": "inductor", "capacitive": "capacitor",
+                "channel": "MOSFET channel (drain = source)",
+                "resistive": "element"}.get(branch.kind, "element")
+        consequence = ("its branch equation degenerates to 0 = value and "
+                       "the MNA matrix is singular" if fatal else
+                       "it stamps nothing and is dead weight")
+        yield Finding(
+            "shorted-element", "error" if fatal else "warning",
+            f"{what} {branch.element!r} has both terminals on node "
+            f"{branch.a!r}: {consequence}",
+            nodes=(branch.a,), elements=(branch.element,),
+            line_no=ctx.line_of(branch.element),
+            hint="check the node names on the element card; a "
+                 "deliberate short should just be deleted")
+
+
+# ---------------------------------------------------------------------------
+# netlist-level rules (need the parser that produced the circuit)
+# ---------------------------------------------------------------------------
+
+@rule("subckt-port-unused", "warning",
+      "a declared subcircuit port is never connected inside the body")
+def _check_subckt_port_unused(ctx: LintContext) -> Iterator[Finding]:
+    subcircuits = getattr(ctx.parser, "subcircuits", None)
+    if not subcircuits:
+        return
+    for definition in subcircuits.values():
+        used: set[str] = set()
+        for _line_no, text in definition.cards:
+            used.update(text.split())
+        for port in definition.ports:
+            if port not in used:
+                yield Finding(
+                    "subckt-port-unused", "warning",
+                    f"port {port!r} of subcircuit {definition.name!r} is "
+                    f"never connected inside the definition: every "
+                    f"instance leaves that terminal dangling",
+                    nodes=(port,),
+                    line_no=getattr(definition, "line_no", None) or None,
+                    hint="drop the port from the .subckt header or wire "
+                         "it up in the body")
+
+
+@rule("subckt-unused", "info",
+      "a subcircuit is defined but never instantiated")
+def _check_subckt_unused(ctx: LintContext) -> Iterator[Finding]:
+    subcircuits = getattr(ctx.parser, "subcircuits", None)
+    if not subcircuits:
+        return
+    instantiated = getattr(ctx.parser, "instantiated", set())
+    for definition in subcircuits.values():
+        if definition.name not in instantiated:
+            yield Finding(
+                "subckt-unused", "info",
+                f"subcircuit {definition.name!r} is defined but never "
+                f"instantiated",
+                line_no=getattr(definition, "line_no", None) or None,
+                hint="delete the dead definition or add an X instance")

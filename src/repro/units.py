@@ -9,6 +9,8 @@ The dialect follows SPICE conventions:
 
 * suffixes are case-insensitive;
 * ``m`` is milli and ``meg`` (or ``x``) is mega -- the classic trap;
+* ``mil`` is a thousandth of an inch (25.4 um), the SPICE legacy
+  geometry unit;
 * a trailing unit name after the suffix is ignored (``10uF`` == ``10u``),
   matching how SPICE reads ``100pF`` or ``0.35um``.
 """
@@ -29,17 +31,21 @@ __all__ = [
 ]
 
 #: Mapping of SPICE engineering suffixes to multipliers.  Order matters for
-#: the regular expression below only in that ``meg`` must be matched before
-#: the single-letter ``m``.
+#: the regular expression below only in that the multi-letter ``meg`` and
+#: ``mil`` must be matched before the single-letter ``m``.
 SI_SUFFIXES: dict[str, float] = {
     "t": 1e12,
     "g": 1e9,
     "meg": 1e6,
     "x": 1e6,
     "k": 1e3,
+    "mil": 25.4e-6,
     "m": 1e-3,
     "u": 1e-6,
-    "µ": 1e-6,
+    "µ": 1e-6,   # U+00B5 micro sign
+    "μ": 1e-6,   # U+03BC Greek mu -- what "µ".upper().lower() becomes,
+                 # and what Greek keyboard layouts type
+
     "n": 1e-9,
     "p": 1e-12,
     "f": 1e-15,
@@ -49,8 +55,8 @@ SI_SUFFIXES: dict[str, float] = {
 _NUMBER_RE = re.compile(
     r"""^\s*
     (?P<num>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
-    (?P<suffix>(?:meg|[tgxkmunpfaµ]))?
-    (?P<unit>[a-zµΩ°%]*)
+    (?P<suffix>(?:meg|mil|[tgxkmunpfaµμ]))?
+    (?P<unit>[a-zµμΩ°%]*)
     \s*$""",
     re.IGNORECASE | re.VERBOSE,
 )
@@ -85,6 +91,8 @@ def parse_si(text: str | float | int) -> float:
     5000000.0
     >>> parse_si("2.2k")
     2200.0
+    >>> parse_si("1mil")
+    2.54e-05
     >>> parse_si(42)
     42.0
 

@@ -1,12 +1,44 @@
-"""Shared fixtures: a session-scoped reduced flow run.
+"""Shared fixtures: a session-scoped reduced flow run and the netlist
+fixture corpus.
 
 The model-building flow takes ~1 s at reduced scale; integration tests
 and the filter-flow tests share one run instead of rebuilding it.
+
+``tests/netlists/`` holds the SPICE fixture corpus: ``good_*.cir``
+files parse and lint clean, ``bad_*.cir`` files each trigger one
+specific lint rule (or a parse error).  Load them through the
+``netlist`` fixture so tests never hard-code paths.
 """
+
+from pathlib import Path
 
 import pytest
 
 from repro.flow import reduced_config, run_model_build_flow
+
+NETLIST_DIR = Path(__file__).parent / "netlists"
+
+
+@pytest.fixture(scope="session")
+def netlist():
+    """Loader for the netlist corpus: ``netlist("good_divider")`` returns
+    the text of ``tests/netlists/good_divider.cir`` (the ``.cir``
+    extension is optional)."""
+    def load(name: str) -> str:
+        path = NETLIST_DIR / (name if name.endswith(".cir")
+                              else f"{name}.cir")
+        return path.read_text(encoding="utf-8")
+    return load
+
+
+@pytest.fixture(scope="session")
+def netlist_path():
+    """Like ``netlist`` but returns the file's :class:`~pathlib.Path`
+    (for CLI tests that pass file names)."""
+    def locate(name: str) -> Path:
+        return NETLIST_DIR / (name if name.endswith(".cir")
+                              else f"{name}.cir")
+    return locate
 
 
 @pytest.fixture(scope="session")

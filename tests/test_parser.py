@@ -1,4 +1,10 @@
-"""Tests for the SPICE-like netlist parser."""
+"""Tests for the SPICE-like netlist parser.
+
+Multi-line reference netlists live in the ``tests/netlists`` fixture
+corpus (loaded via the ``netlist`` fixture from conftest) so the lint
+tests, CLI tests and parser tests all exercise the same files; short
+single-purpose snippets stay inline.
+"""
 
 import numpy as np
 import pytest
@@ -8,16 +14,12 @@ from repro.circuit import Capacitor, Mosfet, Resistor
 from repro.circuit.parser import NetlistParser, parse_netlist
 from repro.errors import ParseError
 from repro.process import C35
+from repro.units import SI_SUFFIXES
 
 
 class TestBasicCards:
-    def test_divider_parses_and_solves(self):
-        c = parse_netlist("""
-        * a comment
-        V1 in 0 DC 10
-        R1 in out 1k
-        R2 out 0 1k
-        """)
+    def test_divider_parses_and_solves(self, netlist):
+        c = parse_netlist(netlist("good_divider"))
         assert len(c) == 3
         op = dc_operating_point(c)
         assert op.v("out")[0] == pytest.approx(5.0)
@@ -34,13 +36,10 @@ class TestBasicCards:
         assert isinstance(c.element("C1"), Capacitor)
         assert c.element("C1").capacitance == pytest.approx(10e-12)
 
-    def test_continuation_lines(self):
-        c = parse_netlist("""
-        R1 a 0
-        + 2.2k
-        V1 a 0 1
-        """)
-        assert c.element("R1").resistance == pytest.approx(2200.0)
+    def test_continuation_lines(self, netlist):
+        c = parse_netlist(netlist("good_rc_ladder"))
+        assert c.element("R1").resistance == pytest.approx(1000.0)
+        assert c.element("R3").resistance == pytest.approx(1000.0)
 
     def test_inline_semicolon_comment(self):
         c = parse_netlist("""
@@ -57,14 +56,9 @@ class TestBasicCards:
         op = dc_operating_point(c)
         assert op.v("a")[0] == pytest.approx(1.0)
 
-    def test_end_card_stops_parsing(self):
-        c = parse_netlist("""
-        V1 a 0 1
-        R1 a 0 1k
-        .end
-        R2 a 0 1k
-        """)
-        assert "R2" not in c
+    def test_end_card_stops_parsing(self, netlist):
+        c = parse_netlist(netlist("good_hierarchical"))
+        assert "R99" not in c  # card after .end
 
     def test_analysis_cards_ignored(self):
         c = parse_netlist("""
@@ -116,13 +110,8 @@ class TestSources:
 
 
 class TestModels:
-    def test_model_card(self):
-        c = parse_netlist("""
-        .model mynmos nmos (vto=0.6 kp=120u lambda=0.08u)
-        V1 d 0 2
-        V2 g 0 1.2
-        M1 d g 0 0 mynmos W=20u L=2u
-        """)
+    def test_model_card(self, netlist):
+        c = parse_netlist(netlist("good_mosfet_amp"))
         m1 = c.element("M1")
         assert isinstance(m1, Mosfet)
         assert m1.model.vto == pytest.approx(0.6)
@@ -155,24 +144,13 @@ class TestModels:
 
 
 class TestSubcircuits:
-    NETLIST = """
-    .subckt divby2 in out
-    R1 in out 1k
-    R2 out 0 1k
-    .ends
-    V1 a 0 DC 8
-    X1 a mid divby2
-    X2 mid end divby2
-    Rload end 0 100meg
-    """
-
-    def test_flattening_names(self):
-        c = parse_netlist(self.NETLIST)
+    def test_flattening_names(self, netlist):
+        c = parse_netlist(netlist("good_divby2_chain"))
         names = {e.name for e in c}
         assert "X1.R1" in names and "X2.R2" in names
 
-    def test_flattened_solution(self):
-        c = parse_netlist(self.NETLIST)
+    def test_flattened_solution(self, netlist):
+        c = parse_netlist(netlist("good_divby2_chain"))
         op = dc_operating_point(c)
         # Second stage loads the first: 8V -> 3.2V -> 1.6V (approximately,
         # with the huge Rload negligible).
@@ -217,15 +195,103 @@ class TestSubcircuits:
         with pytest.raises(ParseError, match="nested"):
             parse_netlist(".subckt a x\n.subckt b y\n.ends\n.ends")
 
+    def test_recursive_instantiation_guarded(self, netlist):
+        # A self-instantiating subcircuit must hit the flattening depth
+        # guard, not recurse forever.
+        with pytest.raises(ParseError, match="nesting deeper than"):
+            parse_netlist(netlist("bad_recursive_subckt"))
+
+    def test_deep_but_finite_nesting_allowed(self):
+        # A legitimate chain below the guard flattens fine.
+        lines = []
+        for i in range(8):
+            inner = f"X1 a b level{i - 1}" if i else "R1 a b 1k"
+            lines += [f".subckt level{i} a b", inner, ".ends"]
+        lines += ["V1 in 0 1", "X0 in 0 level7"]
+        c = parse_netlist("\n".join(lines))
+        assert any("R1" in e.name for e in c)
+
+
+class TestGlobalNodes:
+    def test_global_nodes_not_prefixed(self, netlist):
+        c = parse_netlist(netlist("good_hierarchical"))
+        # Subcircuit-internal references to the .global node map to the
+        # top-level net, not a flattened local one.
+        assert "X0.X1.Rtop" in {e.name for e in c}
+        assert c.element("X0.X1.Rtop").nodes[0] == "vdd"
+        op = dc_operating_point(c)
+        assert op.v("vdd")[0] == pytest.approx(3.3)
+
+    def test_global_requires_arguments(self):
+        with pytest.raises(ParseError, match="at least one node"):
+            parse_netlist(".global\nV1 a 0 1\nR1 a 0 1k")
+
 
 class TestParams:
-    def test_param_substitution(self):
-        c = parse_netlist("""
-        .param rval=2.2k
-        V1 a 0 1
-        R1 a 0 rval
-        """)
+    def test_param_substitution(self, netlist):
+        c = parse_netlist(netlist("good_params"))
         assert c.element("R1").resistance == pytest.approx(2200.0)
+        assert c.element("C1").capacitance == pytest.approx(10e-12)
+
+
+class TestNumerics:
+    #: Every suffix of the SPICE dialect and its multiplier, exercised
+    #: through full element cards (not just parse_si) in lower, UPPER
+    #: and Mixed case -- suffixes are case-insensitive.
+    SUFFIX_CASES = sorted(SI_SUFFIXES.items())
+
+    @pytest.mark.parametrize("suffix,multiplier", SUFFIX_CASES)
+    def test_every_suffix_on_an_element_card(self, suffix, multiplier):
+        for variant in (suffix.lower(), suffix.upper(), suffix.title()):
+            c = parse_netlist(f"V1 a 0 1\nR1 a 0 3{variant}")
+            assert c.element("R1").resistance == \
+                pytest.approx(3.0 * multiplier), variant
+
+    def test_meg_and_mil_are_not_milli(self):
+        c = parse_netlist("V1 a 0 1\nR1 a b 1meg\nR2 b c 1mil\nR3 c 0 1m")
+        assert c.element("R1").resistance == pytest.approx(1e6)
+        assert c.element("R2").resistance == pytest.approx(25.4e-6)
+        assert c.element("R3").resistance == pytest.approx(1e-3)
+
+    def test_suffix_corpus_file(self, netlist):
+        c = parse_netlist(netlist("good_suffixes"))
+        assert c.element("Rmeg1").resistance == pytest.approx(1e6)
+        assert c.element("Rmeg2").resistance == pytest.approx(1e6)
+        assert c.element("Rmil1").resistance == pytest.approx(25.4e-6)
+        assert c.element("Rmil2").resistance == pytest.approx(25.4e-6)
+        assert c.element("Runit").resistance == pytest.approx(10e3)
+
+    def test_malformed_number_raises_with_line(self, netlist):
+        with pytest.raises(ParseError, match="malformed numeric") as exc:
+            parse_netlist(netlist("bad_malformed_number"))
+        assert exc.value.line_no == 3
+        assert "line 3" in str(exc.value)
+
+    @pytest.mark.parametrize("card", [
+        "C1 a 0 farads", "L1 a 0 henries", "I1 a 0 amps",
+        "M1 a g 0 0 nmos W=wide L=1u",
+    ])
+    def test_malformed_numbers_everywhere(self, card):
+        with pytest.raises(ParseError, match="malformed numeric"):
+            parse_netlist(f"V1 a 0 1\n{card}", models=C35.models)
+
+
+class TestLineNumbers:
+    def test_elements_carry_source_lines(self, netlist):
+        c = parse_netlist(netlist("good_divider"))
+        assert c.element("V1").line_no == 2
+        assert c.element("R2").line_no == 4
+
+    def test_continuation_attributes_first_line(self, netlist):
+        c = parse_netlist(netlist("good_rc_ladder"))
+        assert c.element("R1").line_no == 3  # card spans lines 3-4
+
+    def test_flattened_elements_carry_definition_lines(self, netlist):
+        c = parse_netlist(netlist("good_divby2_chain"))
+        assert c.element("X1.R1").line_no == 3  # inside the .subckt body
+
+    def test_programmatic_elements_have_none(self):
+        assert Resistor("R1", "a", "b", 1e3).line_no is None
 
 
 class TestErrors:
