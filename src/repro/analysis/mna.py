@@ -179,6 +179,26 @@ class Assembler:
         return ctx.G, ctx.C, ac.rhs
 
 
+def _singular_lanes(matrices: np.ndarray) -> list[int]:
+    """Flat indices of the singular systems within a stacked batch.
+
+    Runs only on the error path (the batched solve already failed), so a
+    per-lane factorisation probe is affordable; it uses the same LAPACK
+    LU the batched solve does, so a lane is flagged iff it is what made
+    the stack fail.
+    """
+    n = matrices.shape[-1]
+    flat = matrices.reshape(-1, n, n)
+    probe = np.zeros(n)
+    lanes = []
+    for index in range(flat.shape[0]):
+        try:
+            np.linalg.solve(flat[index], probe)
+        except np.linalg.LinAlgError:
+            lanes.append(index)
+    return lanes
+
+
 def solve_batched(matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     """Solve stacked linear systems ``matrices @ x = rhs``.
 
@@ -193,11 +213,25 @@ def solve_batched(matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     ------
     SingularMatrixError
         If any system in the stack is singular (typically a floating node
-        or a loop of ideal voltage sources).
+        or a loop of ideal voltage sources).  The exception carries the
+        flat indices of the offending lanes as ``lane_indices``, so one
+        bad Monte-Carlo sample no longer kills a chunk opaquely: callers
+        can report, drop, or re-draw exactly those lanes.
     """
+    matrices = np.asarray(matrices)
     try:
         return np.linalg.solve(matrices, rhs[..., None])[..., 0]
     except np.linalg.LinAlgError as exc:
+        lanes = _singular_lanes(matrices)
+        total = int(np.prod(matrices.shape[:-2], dtype=int))
+        if lanes:
+            shown = ", ".join(str(lane) for lane in lanes[:8])
+            if len(lanes) > 8:
+                shown += f", ... ({len(lanes)} total)"
+            where = f" in stack lane(s) {shown} of {total}"
+        else:  # LAPACK refused the whole stack without naming a lane
+            where = ""
         raise SingularMatrixError(
-            "singular MNA matrix (floating node or voltage-source loop?): "
-            f"{exc}") from exc
+            f"singular MNA matrix{where} "
+            f"(floating node or voltage-source loop?): {exc}",
+            lane_indices=lanes or None) from exc

@@ -1,0 +1,41 @@
+"""Content-addressed result caching: fingerprints, atomic IO, the store.
+
+The paper's verification workload -- 200 Monte-Carlo samples on each of
+1022 Pareto points -- is exactly the kind of request a production yield
+service fields millions of times with heavy overlap.  iVAMS (PAPERS.md)
+shows cached polynomial metamodels standing in for the simulator
+entirely; this package generalises that idea to *every* estimator in the
+stack: any unit of work whose inputs can be written down canonically
+(:func:`canonical_fingerprint`) can have its result stored once and
+served from disk forever after, because the estimators are deterministic
+functions of their fingerprinted inputs.
+
+Three pieces:
+
+* :func:`canonical_fingerprint` -- the keying discipline.  A fingerprint
+  is canonical JSON over ``(kind, library version, evaluator identity,
+  config)``: two requests share a fingerprint iff they are guaranteed to
+  produce bit-identical results, and *any* input that could change the
+  numbers -- the seed, the spec set, the PDK, the code version --
+  changes the key.
+* :func:`atomic_write_npz` / :func:`atomic_write_bytes` -- crash-safe
+  persistence (unique temp file in the destination directory, then
+  ``os.replace``), shared by the cache store and the streaming
+  Monte-Carlo checkpoints so a killed or concurrent writer can never
+  leave a truncated artefact behind.
+* :class:`ResultCache` -- the fingerprint-keyed store itself: one
+  ``.npz`` (arrays) + ``.json`` (metadata) pair per entry, an LRU size
+  bound, and hit/miss/eviction counters.
+"""
+
+from .fingerprint import (canonical_fingerprint, canonicalize,
+                          fingerprint_key, library_version)
+from .store import (CachedResult, CacheStats, ResultCache,
+                    atomic_write_bytes, atomic_write_npz, atomic_write_text)
+
+__all__ = [
+    "canonical_fingerprint", "canonicalize", "fingerprint_key",
+    "library_version",
+    "CachedResult", "CacheStats", "ResultCache",
+    "atomic_write_bytes", "atomic_write_npz", "atomic_write_text",
+]

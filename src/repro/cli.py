@@ -8,7 +8,13 @@ Subcommands mirror the paper's experiments:
   (section 5);
 * ``table1``  -- print the design-parameter space (Table 1);
 * ``lint``    -- topology-lint netlist files without simulating them
-  (exit 0 when clean, 1 on errors -- or on warnings with ``--strict``).
+  (exit 0 when clean, 1 on errors -- or on warnings with ``--strict``);
+* ``serve``   -- run the yield-service daemon over a spool directory
+  (:mod:`repro.service`);
+* ``submit``  -- drop a JSON job request into a service root (optionally
+  waiting for the result);
+* ``jobs``    -- list job statuses under a service root, cancel a job,
+  or stop the daemon.
 
 Paper-scale runs take a couple of minutes; pass ``--reduced`` for a
 seconds-scale smoke run.
@@ -168,6 +174,82 @@ def _cmd_lint(args) -> int:
     return max(report.exit_code(strict=args.strict) for report in reports)
 
 
+def _cmd_serve(args) -> int:
+    from .service import serve
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    serve(args.root, workers=args.workers,
+          idle_exit=args.idle_exit if args.idle_exit > 0 else None,
+          max_bytes=args.cache_bytes if args.cache_bytes > 0 else None,
+          progress=print)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+    import time
+
+    from .service import read_status, submit_request
+    try:
+        if args.request == "-":
+            request = json.load(sys.stdin)
+        else:
+            with open(args.request) as handle:
+                request = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        job_id = submit_request(args.root, request)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"submitted {job_id}")
+    if not args.wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    while True:
+        status = read_status(args.root, job_id)
+        if status["state"] in ("done", "failed", "cancelled"):
+            break
+        if time.monotonic() > deadline:
+            print(f"error: timed out after {args.timeout:g}s "
+                  f"(job {job_id} still {status['state']})",
+                  file=sys.stderr)
+            return 2
+        time.sleep(0.2)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from .service import job_statuses, request_cancel, request_stop
+    if args.cancel:
+        request_cancel(args.root, args.cancel)
+        print(f"cancel requested for {args.cancel}")
+        return 0
+    if args.stop:
+        request_stop(args.root)
+        print("stop requested")
+        return 0
+    statuses = job_statuses(args.root)
+    if not statuses:
+        print("no jobs")
+        return 0
+    for status in statuses:
+        line = (f"{status.get('id', '?'):<22} "
+                f"{status.get('kind', '?'):<16} "
+                f"{status.get('state', '?'):<10}")
+        if status.get("cache_hit"):
+            line += " (cache hit)"
+        if status.get("progress"):
+            done, total = status["progress"]
+            line += f" {done}/{total}"
+        print(line)
+    return 0
+
+
 def _cmd_table1(_args) -> int:
     print(f"{'Design Parameter:':<24} Range:")
     for name, rng in OTA_DESIGN_SPACE.table1_rows():
@@ -282,6 +364,48 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit one JSON array of report objects instead "
                            "of text")
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", help="run the yield-service daemon over a spool directory",
+        description="Serve job requests dropped into <root>/queue/ "
+                    "(see 'repro-flow submit') through a worker pool with "
+                    "a content-addressed result cache.  Runs until a stop "
+                    "sentinel appears ('repro-flow jobs <root> --stop') or "
+                    "the idle timeout elapses.")
+    serve.add_argument("root", help="service root directory (created if "
+                       "missing)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent jobs (default 2)")
+    serve.add_argument("--idle-exit", type=float, default=0.0,
+                       help="exit after this many idle seconds "
+                            "(default: run until stopped)")
+    serve.add_argument("--cache-bytes", type=int, default=0,
+                       help="result-cache byte budget "
+                            "(default: cache default)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a JSON job request to a service root",
+        description="Validate a JSON request (kinds: estimate, lint) and "
+                    "drop it into <root>/queue/ for a running daemon.")
+    submit.add_argument("root", help="service root directory")
+    submit.add_argument("request",
+                        help="path to a JSON request file, or '-' for stdin")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its "
+                             "final status")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait timeout in seconds (default 300)")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list, cancel, or stop jobs under a service root")
+    jobs.add_argument("root", help="service root directory")
+    jobs.add_argument("--cancel", metavar="JOB_ID", default="",
+                      help="request cancellation of one job")
+    jobs.add_argument("--stop", action="store_true",
+                      help="ask the daemon to exit")
+    jobs.set_defaults(func=_cmd_jobs)
 
     table1 = sub.add_parser("table1", help="print the Table-1 design space")
     table1.set_defaults(func=_cmd_table1)

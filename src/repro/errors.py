@@ -16,6 +16,9 @@ The hierarchy mirrors the subsystems described in ``DESIGN.md``:
 * :class:`AnalysisError` -- simulation failures; the important subclass is
   :class:`ConvergenceError` raised when the Newton-Raphson DC solver fails
   even after the homotopy fallbacks.
+* :class:`WorkloadError` -- misuse of the workload/service layer; its
+  subclass :class:`JobCancelled` is the cooperative-cancellation signal
+  a running job raises when its cancel flag is observed.
 * :class:`TableModelError` -- ``$table_model`` emulation errors, notably
   :class:`ExtrapolationError` for the ``"E"`` (error-on-extrapolation)
   control string used throughout the paper.
@@ -105,7 +108,51 @@ class ConvergenceError(AnalysisError):
 
 
 class SingularMatrixError(AnalysisError):
-    """The MNA matrix is singular (floating node, loop of sources...)."""
+    """The MNA matrix is singular (floating node, loop of sources...).
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    lane_indices:
+        Flat indices of the singular systems within the batched stack,
+        when the solver identified them (``None`` otherwise).  One bad
+        Monte-Carlo die or GA individual used to kill its whole chunk
+        opaquely; the indices let callers name -- and repair or drop --
+        exactly the offending lanes.
+    """
+
+    def __init__(self, message: str, lane_indices=None) -> None:
+        self.lane_indices = (None if lane_indices is None
+                             else tuple(int(i) for i in lane_indices))
+        super().__init__(message)
+
+
+class WorkloadError(ReproError):
+    """A workload (:mod:`repro.workload`) or the service layer serving
+    it (:mod:`repro.service`) is misconfigured or misused.
+
+    Examples: a service request naming an unknown workload kind, a
+    queue operation on a job id that was never submitted, caching
+    requested for a workload whose identity cannot be fingerprinted.
+    """
+
+
+class JobCancelled(WorkloadError):
+    """A running workload observed its cancellation flag and stopped.
+
+    Raised *inside* the worker executing the job, at the first progress
+    boundary after :meth:`repro.service.JobQueue.cancel` (or the
+    daemon's cancel marker) was seen.  Checkpoints written before the
+    boundary survive, so a cancelled job resumes rather than restarts.
+    """
+
+    def __init__(self, message: str = "job cancelled",
+                 job_id: str | None = None) -> None:
+        self.job_id = job_id
+        if job_id is not None:
+            message = f"{message} (job {job_id})"
+        super().__init__(message)
 
 
 class TableModelError(ReproError):

@@ -60,22 +60,24 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (avoids a cycle:
     from ..mc.streaming import StreamingResult
     from ..optimize import YieldSearchConfig, YieldSearchResult
 
-from ..corners import CornerGrid, CornerVerification, corner_sweep_points
+from ..corners import CornerGrid, CornerVerification
 from ..designs.filter2 import DEFAULT_FILTER_SPEC
 from ..designs.ota import (OTA_DESIGN_SPACE, OTAParameters, build_ota,
                            evaluate_ota)
 from ..designs.problems import OTAProblem, TransistorFilterProblem
 from ..errors import YieldModelError
-from ..lint import preflight_lint
-from ..mc.engine import MCConfig, monte_carlo_points
+from ..mc.engine import MCConfig
 from ..mc.sampler import stream
 from ..mc.streaming import AdaptiveStop
 from ..measure.specs import Spec, SpecSet
 from ..moo.ga import GAConfig
 from ..moo.wbga import WBGAResult, run_wbga
 from ..process import C35, ProcessKit
-from ..surrogate import train_surrogates
 from ..tablemodel.pareto_table import ParetoTableModel
+from ..workload import (CornerSweepWorkload, LintWorkload, MCPointsWorkload,
+                        StreamingYieldWorkload, SurrogateTrainWorkload,
+                        YieldSearchWorkload, design_digest,
+                        ota_points_evaluator, ota_reference_evaluator)
 from ..yieldmodel.targeting import CombinedYieldModel
 from ..yieldmodel.variation import DEFAULT_K_SIGMA, variation_columns
 from .accounting import SimulationLedger
@@ -370,9 +372,9 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         say(f"pre-flight lint ({config.lint}): OTA testbench")
         testbench = build_ota(OTAParameters(), pdk=pdk, cl=config.cl,
                               ibias=config.ibias)
-        preflight_lint(testbench, config.lint,
-                       stage="model-build pre-flight lint",
-                       progress=progress)
+        LintWorkload(testbench, config.lint,
+                     stage="model-build pre-flight lint").run(
+            progress=progress)
 
     # Stages 1+2: objective setup and WBGA optimisation.
     say(f"WBGA optimisation: {config.generations} generations x "
@@ -415,47 +417,40 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
     ro_ohms = gain_lin / gm
 
     # Stage 4: Monte-Carlo variation analysis on every front point.
+    # From here on every stage is a Workload: the same entry points with
+    # the same arguments (artifacts stay bit-identical), but each unit
+    # now carries a fingerprint the cache and service layer can key on.
     say(f"Monte Carlo: {config.mc_samples} samples x {k_points} points")
     mc_config = MCConfig(n_samples=config.mc_samples,
                          seed=config.seed,
                          chunk_lanes=config.mc_chunk_lanes,
                          backend=config.mc_backend,
                          workers=config.mc_workers)
-
-    def mc_evaluator(point_indices, repeats, die_sample):
-        tiled = OTAParameters.from_array(
-            np.repeat(natural_params[point_indices], repeats, axis=0))
-        performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
-                                   cl=config.cl, ibias=config.ibias)
-        return {"gain_db": performance["gain_db"],
-                "pm_deg": performance["pm_deg"]}
+    front_evaluator = ota_points_evaluator(natural_params, pdk=pdk,
+                                           cl=config.cl, ibias=config.ibias)
+    front_id = design_digest(points=natural_params, pdk=pdk.name,
+                             cl=config.cl, ibias=config.ibias)
 
     with ledger.timed("monte-carlo variation analysis",
                       k_points * config.mc_samples):
-        mc_samples = monte_carlo_points(
-            mc_evaluator, k_points, pdk, mc_config,
+        mc_samples = MCPointsWorkload(
+            front_evaluator, k_points, pdk, mc_config,
+            evaluator_id=front_id).run(
             progress=(lambda done, total:
-                      say(f"  MC {done}/{total} points")) if progress else None)
+                      say(f"  MC {done}/{total} points"))
+            if progress else None).value
 
     # Stage 4b: deterministic PVT corner verification of the whole front.
     corner_check = None
     grid = config.corner_grid(pdk)
     if grid is not None:
         say(f"corner verification: {grid.describe()} x {k_points} points")
-
-        def corner_evaluator(point_indices, repeats, die_sample):
-            tiled = OTAParameters.from_array(
-                np.repeat(natural_params[point_indices], repeats, axis=0))
-            performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
-                                       cl=config.cl, ibias=config.ibias)
-            return {"gain_db": performance["gain_db"],
-                    "pm_deg": performance["pm_deg"]}
-
         with ledger.timed("corner verification", k_points * grid.size):
-            corner_samples = corner_sweep_points(
-                corner_evaluator, k_points, pdk, grid,
+            corner_samples = CornerSweepWorkload(
+                front_evaluator, k_points, pdk, grid,
                 backend=config.mc_backend, workers=config.mc_workers,
-                chunk_lanes=config.mc_chunk_lanes)
+                chunk_lanes=config.mc_chunk_lanes,
+                evaluator_id=front_id).run().value
         corner_check = CornerVerification(grid=grid, samples=corner_samples,
                                           specs=config.corner_specs())
         corner_check.attach_mc_check(mc_samples, k_sigma=config.k_sigma)
@@ -470,7 +465,6 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
     if config.adaptive_ci > 0.0:
         import hashlib
 
-        from ..yieldmodel.estimator import estimate_yield_streaming
         reference = natural_params[k_points // 2]
         say(f"streaming yield verification: CI width <= "
             f"{config.adaptive_ci:g} (cap {config.adaptive_max_samples} "
@@ -480,28 +474,23 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         # therefore mid-front reference) differs must be rejected, not
         # silently resumed as another design's yield.
         digest = hashlib.sha256(reference.tobytes()).hexdigest()[:16]
-
-        def streaming_evaluator(die_sample):
-            tiled = OTAParameters.from_array(
-                np.repeat(reference[None, :], die_sample.size, axis=0))
-            performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
-                                       cl=config.cl, ibias=config.ibias)
-            return {"gain_db": performance["gain_db"],
-                    "pm_deg": performance["pm_deg"]}
-
         streaming_config = MCConfig(
             n_samples=config.adaptive_max_samples, seed=config.seed,
             chunk_lanes=config.adaptive_chunk_lanes,
             backend=config.mc_backend, workers=config.mc_workers)
         with ledger.timed("streaming yield verification"):
-            estimate, streaming_verification = estimate_yield_streaming(
-                streaming_evaluator, pdk, config.corner_specs(),
-                streaming_config,
+            estimate, streaming_verification = StreamingYieldWorkload(
+                ota_reference_evaluator(reference, pdk=pdk, cl=config.cl,
+                                        ibias=config.ibias),
+                pdk, config.corner_specs(), streaming_config,
                 adaptive=AdaptiveStop(
                     metric="yield", ci_width=config.adaptive_ci,
                     check_every=config.adaptive_check_every),
-                checkpoint=config.streaming_checkpoint or None,
-                stage=f"mc-verify-{digest}")
+                stage=f"mc-verify-{digest}",
+                evaluator_id=design_digest(
+                    reference=reference, pdk=pdk.name,
+                    cl=config.cl, ibias=config.ibias)).run(
+                checkpoint=config.streaming_checkpoint or None).value
         # Only the work this invocation simulated counts: a resumed
         # run's checkpointed samples were paid for by the earlier run.
         ledger.record("streaming yield verification",
@@ -541,21 +530,17 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         reference = natural_params[k_points // 2]
         say(f"surrogate training: {config.surrogate_budget} samples "
             f"({config.surrogate_kind}) at the mid-front design")
-
-        def surrogate_evaluator(die_sample):
-            tiled = OTAParameters.from_array(
-                np.repeat(reference[None, :], die_sample.size, axis=0))
-            performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
-                                       cl=config.cl, ibias=config.ibias)
-            return {"gain_db": performance["gain_db"],
-                    "pm_deg": performance["pm_deg"]}
-
         with ledger.timed("surrogate training", config.surrogate_budget):
-            surrogate = train_surrogates(
-                surrogate_evaluator, pdk, n_train=config.surrogate_budget,
-                seed=config.seed, kind=config.surrogate_kind,
+            surrogate = SurrogateTrainWorkload(
+                ota_reference_evaluator(reference, pdk=pdk, cl=config.cl,
+                                        ibias=config.ibias),
+                pdk, n_train=config.surrogate_budget, seed=config.seed,
+                surrogate_kind=config.surrogate_kind,
                 backend=config.mc_backend, workers=config.mc_workers,
-                chunk_lanes=config.mc_chunk_lanes)
+                chunk_lanes=config.mc_chunk_lanes,
+                evaluator_id=design_digest(
+                    reference=reference, pdk=pdk.name,
+                    cl=config.cl, ibias=config.ibias)).run().value
         surrogate_reference = reference
         for line in surrogate.describe().splitlines():
             say(f"  {line}")
@@ -565,16 +550,16 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
     yield_search = None
     filter_yield_search = None
     if config.yield_objective != "none":
-        from ..optimize import (filter_evaluator_factory,
-                                ota_evaluator_factory, run_yield_search)
+        from ..optimize import filter_evaluator_factory, ota_evaluator_factory
         search_config = config.yield_search_config()
         say(f"in-loop yield search (OTA): {config.yield_generations} "
             f"generations x {config.yield_population} individuals, "
             f"mode {config.yield_objective}")
-        yield_search = run_yield_search(
+        yield_search = YieldSearchWorkload(
             OTAProblem(pdk=pdk, cl=config.cl, ibias=config.ibias),
             ota_evaluator_factory(pdk=pdk, cl=config.cl, ibias=config.ibias),
-            config.corner_specs(), pdk, search_config, ledger=ledger)
+            config.corner_specs(), pdk, search_config,
+            ledger=ledger).run().value
         for line in yield_search.describe().splitlines():
             say(f"  {line}")
 
@@ -585,10 +570,10 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
             Spec("atten_db", "ge", DEFAULT_FILTER_SPEC.min_atten_db, "dB"),
         ])
         say("in-loop yield search (filter2) at the mid-front OTA design")
-        filter_yield_search = run_yield_search(
+        filter_yield_search = YieldSearchWorkload(
             TransistorFilterProblem(reference_ota, pdk=pdk),
             filter_evaluator_factory(reference_ota, pdk=pdk),
-            filter_specs, pdk, search_config, ledger=ledger)
+            filter_specs, pdk, search_config, ledger=ledger).run().value
         for line in filter_yield_search.describe().splitlines():
             say(f"  {line}")
 

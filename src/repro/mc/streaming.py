@@ -38,12 +38,12 @@ from __future__ import annotations
 
 import json
 import math
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from ..cache import atomic_write_npz, canonical_fingerprint
 from ..errors import ReproError
 from ..exec import resolve_backend
 from ..process.pdk import ProcessKit
@@ -663,11 +663,13 @@ class StreamingResult:
 def _fingerprint(config: MCConfig, pdk: ProcessKit, stage: str, specs,
                  adaptive: AdaptiveStop | None,
                  sketch_capacity: int) -> str:
-    """Checkpoint compatibility key.
+    """Checkpoint compatibility key (canonical fingerprint form).
 
     Covers every *inspectable* input that shapes the sample population
     or the accumulator state -- the MC configuration, the process kit's
-    name, the stream stage, the spec set, the stopping rule -- and
+    name, the stream stage, the spec set, the stopping rule -- plus the
+    library version (via :func:`repro.cache.canonical_fingerprint`, so
+    a code upgrade can never silently resume an old run's state), and
     deliberately excludes the backend/worker choice, which never
     affects numeric results.  The evaluator itself is an opaque
     callable the fingerprint cannot see: callers whose evaluator can
@@ -682,7 +684,6 @@ def _fingerprint(config: MCConfig, pdk: ProcessKit, stage: str, specs,
         "chunk_lanes": config.chunk_lanes,
         "include_global": config.include_global,
         "include_mismatch": config.include_mismatch,
-        "stage": stage,
         "specs": specs.describe() if specs is not None else "",
         "adaptive": ([adaptive.metric, adaptive.ci_width,
                       adaptive.confidence, adaptive.min_samples,
@@ -690,7 +691,7 @@ def _fingerprint(config: MCConfig, pdk: ProcessKit, stage: str, specs,
                      if adaptive is not None else []),
         "sketch_capacity": sketch_capacity,
     }
-    return json.dumps(payload, sort_keys=True)
+    return canonical_fingerprint("mc-streaming", payload, evaluator=stage)
 
 
 def _write_checkpoint(path: Path, fingerprint: str, cursor: int,
@@ -709,11 +710,11 @@ def _write_checkpoint(path: Path, fingerprint: str, cursor: int,
             arrays[f"acc_{name}__{key}"] = data
     if counter is not None:
         arrays["yield_counts"] = counter.state()
-    # The tmp name must end in ".npz" or np.savez would append it and
-    # the atomic rename below would miss the actual file.
-    tmp = path.with_name(path.name + ".tmp.npz")
-    np.savez_compressed(tmp, **arrays)
-    os.replace(tmp, path)
+    # Atomic and crash-safe: a kill mid-write leaves the previous
+    # checkpoint intact, and concurrent jobs sharing a checkpoint path
+    # get unique temp names (per pid and call) instead of clobbering
+    # each other's half-written file.
+    atomic_write_npz(path, arrays)
 
 
 def _read_checkpoint(path: Path, fingerprint: str, specs):

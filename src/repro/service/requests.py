@@ -1,0 +1,82 @@
+"""Plain-JSON service requests -> live workloads.
+
+The service boundary speaks JSON only: a request is a dict with a
+``kind`` field naming the workload family, plus that family's
+parameters.  Everything identity-relevant ends up in the workload's
+fingerprint, so two users submitting the same request -- from different
+processes, machines, or days -- address the same cache entry.
+
+Request kinds
+-------------
+``estimate``
+    Streaming Monte-Carlo yield estimate of one OTA design::
+
+        {"kind": "estimate",
+         "design": {"w1": 3e-05, "l1": 1e-06, ..., "w4": ..., "l4": ...},
+         "n_samples": 500, "seed": 2008, "chunk_lanes": 256,
+         "specs": [["gain_db", "ge", 50.0, "dB"],
+                   ["pm_deg", "ge", 60.0, "deg"]],
+         "adaptive_ci": 0.05}
+
+    ``design`` may also be a flat 8-list (W1 L1 ... W4 L4).  All fields
+    but ``design`` are optional; ``specs`` defaults to the paper's OTA
+    requirement, ``adaptive_ci`` of 0 runs the exact sample count.
+
+``lint``
+    Topology lint of netlist source text::
+
+        {"kind": "lint", "netlist": "...", "mode": "warn"}
+
+    ``mode`` defaults to ``"warn"`` at the service boundary (report,
+    don't raise): a strict gate turns findings into a *failed* job,
+    which is also supported but rarely what a lint client wants.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..workload import (Workload, lint_workload_from_source,
+                        ota_estimate_workload)
+
+__all__ = ["workload_from_request", "REQUEST_KINDS"]
+
+#: Request kinds the service understands.
+REQUEST_KINDS = ("estimate", "lint")
+
+_ESTIMATE_FIELDS = ("n_samples", "seed", "chunk_lanes", "specs",
+                    "adaptive_ci", "check_every", "pdk", "cl", "ibias")
+
+
+def workload_from_request(request: dict) -> Workload:
+    """Build the workload a JSON request describes.
+
+    Raises
+    ------
+    WorkloadError
+        Unknown kind, missing required fields, or malformed parameters
+        -- raised *here*, at the submission boundary, so a bad request
+        never occupies a worker.
+    """
+    if not isinstance(request, dict):
+        raise WorkloadError(f"request must be a JSON object, "
+                            f"got {type(request).__name__}")
+    kind = request.get("kind")
+    if kind == "estimate":
+        if "design" not in request:
+            raise WorkloadError("estimate request needs a 'design' field")
+        unknown = set(request) - {"kind", "design", *_ESTIMATE_FIELDS}
+        if unknown:
+            raise WorkloadError(
+                f"unknown estimate field(s): {', '.join(sorted(unknown))}")
+        options = {name: request[name] for name in _ESTIMATE_FIELDS
+                   if name in request}
+        return ota_estimate_workload(request["design"], **options)
+    if kind == "lint":
+        if "netlist" not in request:
+            raise WorkloadError("lint request needs a 'netlist' field")
+        return lint_workload_from_source(
+            str(request["netlist"]), str(request.get("mode", "warn")),
+            title=str(request.get("title", "")))
+    raise WorkloadError(
+        f"unknown request kind {kind!r} "
+        f"(known: {', '.join(REQUEST_KINDS)})")

@@ -30,12 +30,14 @@ from .estimator import (SurrogateConfig, SurrogateYieldEstimate,
 from .regression import (PolynomialSurrogate, RBFSurrogate, SURROGATE_KINDS,
                          fit_surrogate)
 from .train import (SurrogateBundle, evaluate_sigma_batch, load_surrogates,
-                    save_surrogates, train_surrogates)
+                    save_surrogates, surrogate_arrays, surrogates_from_arrays,
+                    train_surrogates)
 
 __all__ = [
     "PolynomialSurrogate", "RBFSurrogate", "SURROGATE_KINDS", "fit_surrogate",
     "SurrogateBundle", "train_surrogates", "evaluate_sigma_batch",
     "save_surrogates", "load_surrogates",
+    "surrogate_arrays", "surrogates_from_arrays",
     "SurrogateConfig", "SurrogateYieldEstimate", "SurrogateYieldEstimator",
     "estimate_yield_surrogate",
 ]

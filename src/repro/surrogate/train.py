@@ -232,15 +232,15 @@ def train_surrogates(evaluator, pdk: ProcessKit, *, n_train: int = 96,
     return SurrogateBundle(models, kind, x, y, pdk.name)
 
 
-def save_surrogates(bundle: SurrogateBundle, path) -> Path:
-    """Persist a trained bundle to one ``.npz`` file.
+def surrogate_arrays(bundle: SurrogateBundle) -> dict[str, np.ndarray]:
+    """A trained bundle as a flat name -> array mapping.
 
     The payload is pure arrays plus string metadata -- no pickling -- so
-    saved surrogates are portable artefacts like the flow's ``.tbl``
-    tables.
+    it can be written to an ``.npz`` artefact (:func:`save_surrogates`)
+    or stored in the content-addressed result cache
+    (:mod:`repro.cache`) and reconstructed bit-identically with
+    :func:`surrogates_from_arrays`.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {
         "kind": np.array(bundle.kind),
         "pdk_name": np.array(bundle.pdk_name),
@@ -253,27 +253,48 @@ def save_surrogates(bundle: SurrogateBundle, path) -> Path:
         arrays[f"family::{name}"] = np.array(model.kind)
         for key, value in model.to_arrays().items():
             arrays[f"model::{name}::{key}"] = value
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def surrogates_from_arrays(data) -> SurrogateBundle:
+    """Rebuild a bundle from :func:`surrogate_arrays`' flat mapping.
+
+    ``data`` may be a plain dict or an open ``np.load`` handle.
+    """
+    families = {"polynomial": PolynomialSurrogate, "rbf": RBFSurrogate}
+    files = list(getattr(data, "files", None) or data.keys())
+    names = [str(name) for name in np.asarray(data["names"])]
+    models = {}
+    y_train = {}
+    for name in names:
+        family = str(np.asarray(data[f"family::{name}"]))
+        if family not in families:
+            raise SurrogateError(
+                f"unknown surrogate family {family!r} in bundle payload")
+        prefix = f"model::{name}::"
+        payload = {key[len(prefix):]: np.asarray(data[key]).copy()
+                   for key in files if key.startswith(prefix)}
+        models[name] = families[family].from_arrays(payload)
+        y_train[name] = np.asarray(data[f"y::{name}"]).copy()
+    return SurrogateBundle(models, str(np.asarray(data["kind"])),
+                           np.asarray(data["x_train"]).copy(), y_train,
+                           str(np.asarray(data["pdk_name"])))
+
+
+def save_surrogates(bundle: SurrogateBundle, path) -> Path:
+    """Persist a trained bundle to one ``.npz`` file.
+
+    The payload is pure arrays plus string metadata -- no pickling -- so
+    saved surrogates are portable artefacts like the flow's ``.tbl``
+    tables.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **surrogate_arrays(bundle))
     return path
 
 
 def load_surrogates(path) -> SurrogateBundle:
     """Reload a bundle written by :func:`save_surrogates`."""
-    families = {"polynomial": PolynomialSurrogate, "rbf": RBFSurrogate}
     with np.load(Path(path), allow_pickle=False) as data:
-        names = [str(name) for name in data["names"]]
-        models = {}
-        y_train = {}
-        for name in names:
-            family = str(data[f"family::{name}"])
-            if family not in families:
-                raise SurrogateError(
-                    f"unknown surrogate family {family!r} in {path}")
-            prefix = f"model::{name}::"
-            payload = {key[len(prefix):]: data[key].copy()
-                       for key in data.files if key.startswith(prefix)}
-            models[name] = families[family].from_arrays(payload)
-            y_train[name] = data[f"y::{name}"].copy()
-        return SurrogateBundle(models, str(data["kind"]),
-                               data["x_train"].copy(), y_train,
-                               str(data["pdk_name"]))
+        return surrogates_from_arrays(data)

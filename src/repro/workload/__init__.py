@@ -1,0 +1,49 @@
+"""Workloads: the flow's stages as first-class, fingerprintable units.
+
+The model-build and filter flows (:mod:`repro.flow`) grew as monoliths:
+each stage body built its configuration, called an engine entry point
+(:func:`repro.mc.engine.monte_carlo_points`,
+:func:`repro.corners.corner_sweep_points`,
+:func:`repro.yieldmodel.estimator.estimate_yield_streaming`, ...), and
+interpreted the result inline.  That shape cannot be cached, queued, or
+served: the unit of work has no name, no identity, and no serialisable
+result.
+
+This package carves each stage into a :class:`Workload` object with a
+canonical contract:
+
+* ``config()`` -- the complete canonical configuration of the unit
+  (everything that shapes its numbers; never the execution backend or
+  worker count, which the :mod:`repro.exec` determinism contract keeps
+  out of results);
+* ``fingerprint()`` -- the unit's exact identity
+  (:func:`repro.cache.canonical_fingerprint` over kind + config +
+  evaluator identity + library version), keying the content-addressed
+  result cache (:mod:`repro.cache`) and checkpoint compatibility;
+* ``run()`` -- execute through the existing engine entry points,
+  producing a :class:`WorkloadResult` whose ``arrays``/``meta`` payload
+  round-trips through the cache bit-identically;
+* ``run_cached()`` -- cache-first execution: serve a hit, or run and
+  store.
+
+The flows compose these workloads (their artifacts are bit-identical to
+the pre-refactor stage bodies, enforced by the flow tests), and the
+service layer (:mod:`repro.service`) queues them.
+"""
+
+from .base import Workload, WorkloadResult, guarded_progress
+from .designs import (design_digest, lint_workload_from_source,
+                      ota_estimate_workload, ota_points_evaluator,
+                      ota_reference_evaluator)
+from .units import (BatchYieldWorkload, CornerSweepWorkload, LintWorkload,
+                    MCPointsWorkload, StreamingYieldWorkload,
+                    SurrogateTrainWorkload, YieldSearchWorkload)
+
+__all__ = [
+    "Workload", "WorkloadResult", "guarded_progress",
+    "LintWorkload", "MCPointsWorkload", "CornerSweepWorkload",
+    "StreamingYieldWorkload", "BatchYieldWorkload",
+    "SurrogateTrainWorkload", "YieldSearchWorkload",
+    "design_digest", "ota_reference_evaluator", "ota_points_evaluator",
+    "ota_estimate_workload", "lint_workload_from_source",
+]

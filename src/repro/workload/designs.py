@@ -1,0 +1,175 @@
+"""JSON-constructible workloads over the paper's designs.
+
+The service layer (:mod:`repro.service`) receives plain-JSON requests;
+this module turns them into live workloads.  The interesting part is
+evaluator identity: a service request names a *design* (the OTA's eight
+W/L parameters), so the evaluator closure built here is digested from
+those parameters -- two users submitting the same design and config get
+the same fingerprint, and therefore share one cached result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache import canonicalize, fingerprint_key
+from ..errors import WorkloadError
+from ..mc.engine import MCConfig
+from ..mc.streaming import AdaptiveStop
+from ..measure.specs import Spec, SpecSet
+from ..process import C35
+from .units import LintWorkload, StreamingYieldWorkload
+
+__all__ = ["design_digest", "ota_reference_evaluator",
+           "ota_estimate_workload", "lint_workload_from_source",
+           "DEFAULT_OTA_SPECS"]
+
+#: The paper's section-5 OTA requirement -- the default spec set of a
+#: service ``estimate`` request.
+DEFAULT_OTA_SPECS = (("gain_db", "ge", 50.0, "dB"),
+                     ("pm_deg", "ge", 60.0, "deg"))
+
+_KITS = {"c35": C35}
+
+
+def design_digest(**parts) -> str:
+    """Canonical digest of a design's identifying parts.
+
+    Accepts anything :func:`repro.cache.canonicalize` handles (floats,
+    arrays, strings); the digest is what workload constructors take as
+    ``evaluator_id``.
+    """
+    import json
+    payload = json.dumps(canonicalize(parts), sort_keys=True,
+                         separators=(",", ":"))
+    return f"design:{fingerprint_key(payload)}"
+
+
+def resolve_pdk(name: str):
+    """The process kit registered under ``name`` (case-insensitive)."""
+    try:
+        return _KITS[name.strip().lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown process kit {name!r} "
+            f"(known: {', '.join(sorted(_KITS))})") from None
+
+
+def ota_reference_evaluator(reference, *, pdk=C35, cl: float = 10e-12,
+                            ibias: float = 20e-6,
+                            names=("gain_db", "pm_deg")):
+    """Streaming-MC evaluator of one OTA design point.
+
+    ``reference`` is the natural-unit parameter vector ``(8,)``
+    (W1 L1 ... W4 L4).  The returned callable follows the
+    :func:`repro.mc.engine.monte_carlo` contract; the flow's stage-4c /
+    stage-6 closures and the service's ``estimate`` jobs share it.
+    """
+    from ..designs.ota import OTAParameters, evaluate_ota
+    reference = np.asarray(reference, dtype=float)
+
+    def evaluator(die_sample):
+        tiled = OTAParameters.from_array(
+            np.repeat(reference[None, :], die_sample.size, axis=0))
+        performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
+                                   cl=cl, ibias=ibias)
+        return {name: performance[name] for name in names}
+
+    return evaluator
+
+
+def ota_points_evaluator(natural_params, *, pdk=C35, cl: float = 10e-12,
+                         ibias: float = 20e-6,
+                         names=("gain_db", "pm_deg")):
+    """Chunked many-points evaluator over a ``(K, 8)`` parameter stack.
+
+    Follows the :func:`repro.mc.engine.monte_carlo_points` contract
+    (``(point_indices, repeats, die_sample) -> dict``); the same
+    callable also serves :func:`repro.corners.corner_sweep_points`,
+    which is why the flow's MC and corner stages share one closure.
+    """
+    from ..designs.ota import OTAParameters, evaluate_ota
+    natural_params = np.asarray(natural_params, dtype=float)
+
+    def evaluator(point_indices, repeats, die_sample):
+        tiled = OTAParameters.from_array(
+            np.repeat(natural_params[point_indices], repeats, axis=0))
+        performance = evaluate_ota(tiled, pdk=pdk, variations=die_sample,
+                                   cl=cl, ibias=ibias)
+        return {name: performance[name] for name in names}
+
+    return evaluator
+
+
+def _specs_from_request(entries) -> SpecSet:
+    specs = []
+    for entry in entries:
+        if not 3 <= len(entry) <= 4:
+            raise WorkloadError(
+                f"spec entry must be [name, op, limit(, unit)], "
+                f"got {entry!r}")
+        name, op, limit = entry[0], entry[1], float(entry[2])
+        unit = entry[3] if len(entry) == 4 else ""
+        specs.append(Spec(str(name), str(op), limit, str(unit)))
+    return SpecSet(specs)
+
+
+def ota_estimate_workload(design, *, n_samples: int = 500, seed: int = 2008,
+                          chunk_lanes: int = 256, specs=None,
+                          adaptive_ci: float = 0.0, check_every: int = 1,
+                          pdk: str = "c35", cl: float = 10e-12,
+                          ibias: float = 20e-6) -> StreamingYieldWorkload:
+    """A streaming yield estimate of one OTA design, from plain JSON.
+
+    Parameters
+    ----------
+    design:
+        The eight natural-unit W/L parameters: a mapping with keys
+        ``w1, l1, ..., w4, l4`` or a flat 8-sequence in that order.
+    specs:
+        Spec entries ``[name, op, limit(, unit)]``; defaults to the
+        paper's OTA requirement (:data:`DEFAULT_OTA_SPECS`).
+    adaptive_ci:
+        Target Wilson-interval full width; 0 runs the exact
+        ``n_samples`` count.
+    """
+    from ..designs.ota import OTA_DESIGN_SPACE
+    if isinstance(design, dict):
+        try:
+            reference = np.array([float(design[name])
+                                  for name in OTA_DESIGN_SPACE.names])
+        except KeyError as missing:
+            raise WorkloadError(
+                f"design is missing parameter {missing}") from None
+    else:
+        reference = np.asarray(design, dtype=float)
+    if reference.shape != (8,):
+        raise WorkloadError(
+            f"design must have exactly 8 parameters, got {reference.shape}")
+    kit = resolve_pdk(pdk)
+    spec_set = _specs_from_request(specs if specs is not None
+                                   else DEFAULT_OTA_SPECS)
+    config = MCConfig(n_samples=int(n_samples), seed=int(seed),
+                      chunk_lanes=int(chunk_lanes))
+    adaptive = (AdaptiveStop(metric="yield", ci_width=float(adaptive_ci),
+                             check_every=int(check_every))
+                if adaptive_ci else None)
+    return StreamingYieldWorkload(
+        ota_reference_evaluator(reference, pdk=kit, cl=cl, ibias=ibias),
+        kit, spec_set, config, adaptive=adaptive,
+        evaluator_id=design_digest(reference=reference, pdk=kit.name,
+                                   cl=cl, ibias=ibias))
+
+
+def lint_workload_from_source(source: str, mode: str = "strict", *,
+                              stage: str = "service lint",
+                              title: str = "") -> LintWorkload:
+    """A topology-lint workload over netlist source text.
+
+    The text is parsed here (parse errors surface at submission, not
+    inside a worker) and digested into the evaluator identity, so
+    identical netlists share one cached verdict.
+    """
+    from ..circuit.parser import parse_netlist
+    circuit = parse_netlist(source, title=title)
+    return LintWorkload(circuit, mode, stage=stage, source=source)

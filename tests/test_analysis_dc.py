@@ -173,6 +173,26 @@ class TestSolveBatched:
         with pytest.raises(SingularMatrixError):
             solve_batched(singular, np.ones((1, 3)))
 
+    def test_singular_error_names_the_offending_lanes(self):
+        # Satellite gate: one bad Monte-Carlo sample must not kill a
+        # chunk opaquely -- the error carries exactly the singular lane
+        # indices so callers can report, drop, or re-draw them.
+        rng = np.random.default_rng(0)
+        matrices = rng.normal(size=(5, 3, 3)) + 4 * np.eye(3)
+        matrices[1] = 0.0
+        matrices[4] = 0.0
+        with pytest.raises(SingularMatrixError) as excinfo:
+            solve_batched(matrices, np.ones((5, 3)))
+        assert excinfo.value.lane_indices == (1, 4)
+        assert "lane(s) 1, 4 of 5" in str(excinfo.value)
+
+    def test_singular_lane_report_truncates_long_lists(self):
+        matrices = np.zeros((12, 2, 2))
+        with pytest.raises(SingularMatrixError) as excinfo:
+            solve_batched(matrices, np.ones((12, 2)))
+        assert excinfo.value.lane_indices == tuple(range(12))
+        assert "(12 total)" in str(excinfo.value)
+
 
 class TestNewtonOptions:
     def test_option_validation_not_required_but_tolerances_used(self):

@@ -1,0 +1,269 @@
+"""Content-addressed result cache tests.
+
+Covers the canonical fingerprint (canonicalisation rules, determinism,
+what is and is not in the key), the crash-safe atomic writers, and the
+:class:`~repro.cache.ResultCache` store (round trips, corruption
+handling, LRU eviction, operational counters).
+"""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import (CacheStats, ResultCache, atomic_write_bytes,
+                         atomic_write_npz, atomic_write_text,
+                         canonical_fingerprint, canonicalize,
+                         fingerprint_key, library_version)
+from repro.errors import ReproError
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -7, 1.5, "text"):
+            assert canonicalize(value) == value
+
+    def test_float_repr_roundtrip(self):
+        value = 0.1 + 0.2  # not 0.3: canonical form must keep all bits
+        assert canonicalize(value) == value
+        assert json.loads(json.dumps(canonicalize(value))) == value
+
+    def test_numpy_scalars_become_native(self):
+        assert canonicalize(np.int64(5)) == 5
+        assert isinstance(canonicalize(np.int64(5)), int)
+        assert canonicalize(np.float64(2.5)) == 2.5
+
+    def test_arrays_become_digests(self):
+        data = np.arange(6, dtype=np.float64).reshape(2, 3)
+        digest = canonicalize(data)
+        assert digest.startswith("sha256:")
+        assert "[2, 3]" in digest
+        # Stable across identical content, distinct across dtype.
+        assert canonicalize(data.copy()) == digest
+        assert canonicalize(data.astype(np.float32)) != digest
+        assert canonicalize(data + 1) != digest
+
+    def test_dataclasses_and_mappings(self):
+        @dataclasses.dataclass
+        class Config:
+            n: int
+            seed: int
+
+        assert canonicalize(Config(n=3, seed=1)) == {"n": 3, "seed": 1}
+        assert canonicalize({"b": (1, 2), "a": {3, 1}}) == \
+            {"b": [1, 2], "a": [1, 3]}
+
+    def test_mapping_keys_must_be_strings(self):
+        with pytest.raises(TypeError, match="string"):
+            canonicalize({1: "one"})
+
+    def test_describe_fallback(self):
+        class Described:
+            def describe(self):
+                return "described!"
+
+        assert canonicalize(Described()) == "described!"
+
+    def test_opaque_values_rejected(self):
+        with pytest.raises(TypeError, match="canonical"):
+            canonicalize(lambda: None)
+
+
+class TestCanonicalFingerprint:
+    def test_deterministic_and_compact(self):
+        config = {"z": 1, "a": [2.0, 3]}
+        first = canonical_fingerprint("unit", config, evaluator="e")
+        second = canonical_fingerprint("unit", dict(config), evaluator="e")
+        assert first == second
+        assert " " not in first  # compact separators
+        payload = json.loads(first)
+        assert payload["kind"] == "unit"
+        assert payload["evaluator"] == "e"
+        assert payload["version"] == library_version()
+
+    def test_kind_and_evaluator_distinguish(self):
+        config = {"n": 8}
+        base = canonical_fingerprint("a", config)
+        assert canonical_fingerprint("b", config) != base
+        assert canonical_fingerprint("a", config, evaluator="x") != base
+
+    def test_version_salt(self, monkeypatch):
+        import repro
+        before = canonical_fingerprint("unit", {"n": 1})
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        after = canonical_fingerprint("unit", {"n": 1})
+        assert before != after
+        assert json.loads(after)["version"] == "999.0.0"
+
+    def test_key_is_sha256_hex(self):
+        fingerprint = canonical_fingerprint("unit", {"n": 1})
+        key = fingerprint_key(fingerprint)
+        assert len(key) == 64
+        assert int(key, 16) >= 0  # hex
+        assert fingerprint_key(fingerprint) == key
+
+
+class TestAtomicWriters:
+    def test_bytes_and_text_roundtrip(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+        atomic_write_text(path, "résultat")
+        assert path.read_text(encoding="utf-8") == "résultat"
+
+    def test_npz_roundtrip(self, tmp_path):
+        path = tmp_path / "out.npz"
+        arrays = {"a": np.arange(5), "b": np.eye(2)}
+        atomic_write_npz(path, arrays)
+        with np.load(path) as data:
+            np.testing.assert_array_equal(data["a"], arrays["a"])
+            np.testing.assert_array_equal(data["b"], arrays["b"])
+
+    def test_failed_write_preserves_previous_content(self, tmp_path,
+                                                     monkeypatch):
+        # A writer that dies mid-stream must leave the previous file
+        # intact and no temp debris behind.
+        path = tmp_path / "ckpt.npz"
+        atomic_write_npz(path, {"a": np.arange(3)})
+        before = path.read_bytes()
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError, match="disk gone"):
+            atomic_write_npz(path, {"a": np.arange(99)})
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".*.tmp")) == []
+
+    def test_concurrent_writers_get_distinct_temp_names(self, tmp_path):
+        # The temp-name scheme is (pid, counter): two writes of the same
+        # path in one process never share a temp file.
+        from repro.cache.store import _tmp_path
+        path = tmp_path / "same.npz"
+        assert _tmp_path(path) != _tmp_path(path)
+        assert _tmp_path(path).parent == path.parent
+
+
+class TestResultCache:
+    def fingerprint(self, n=1):
+        return canonical_fingerprint("test-unit", {"n": n})
+
+    def test_roundtrip_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        arrays = {"values": np.linspace(0.0, 1.0, 7),
+                  "counts": np.array([3, 9], dtype=np.int64)}
+        meta = {"describe": "seven values", "percent": 42.5}
+        fingerprint = self.fingerprint()
+        cache.put(fingerprint, arrays, meta)
+        hit = cache.get(fingerprint)
+        assert hit is not None
+        assert hit.meta == meta
+        assert set(hit.arrays) == {"values", "counts"}
+        for name in arrays:
+            np.testing.assert_array_equal(hit.arrays[name], arrays[name])
+            assert hit.arrays[name].dtype == arrays[name].dtype
+        assert fingerprint in cache
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_miss_on_absent_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(self.fingerprint()) is None
+        assert cache.stats.misses == 1
+        assert self.fingerprint() not in cache
+
+    def test_persists_across_instances(self, tmp_path):
+        fingerprint = self.fingerprint()
+        ResultCache(tmp_path).put(fingerprint, {"a": np.arange(3)})
+        hit = ResultCache(tmp_path).get(fingerprint)
+        assert hit is not None
+        np.testing.assert_array_equal(hit.arrays["a"], np.arange(3))
+
+    def test_corrupt_entry_dropped_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fingerprint = self.fingerprint()
+        cache.put(fingerprint, {"a": np.arange(3)})
+        npz = tmp_path / f"{fingerprint_key(fingerprint)}.npz"
+        npz.write_bytes(b"not an npz at all")
+        assert cache.get(fingerprint) is None
+        assert cache.stats.misses == 1
+        assert not npz.exists()  # dropped, not left to fail again
+
+    def test_fingerprint_mismatch_never_served(self, tmp_path):
+        # Defence in depth: even if an entry lands under the wrong key
+        # (digest collision, manual tampering), the embedded fingerprint
+        # text must veto it.
+        cache = ResultCache(tmp_path)
+        fingerprint = self.fingerprint(1)
+        cache.put(fingerprint, {"a": np.arange(3)})
+        other = self.fingerprint(2)
+        key_path = tmp_path / f"{fingerprint_key(other)}.npz"
+        (tmp_path / f"{fingerprint_key(fingerprint)}.npz").rename(key_path)
+        assert cache.get(other) is None
+
+    def test_reserved_array_names_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="reserved"):
+            ResultCache(tmp_path).put(self.fingerprint(),
+                                      {"__fingerprint__": np.arange(2)})
+
+    def test_lru_eviction_by_entry_count(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        prints = [self.fingerprint(n) for n in range(3)]
+        for index, fingerprint in enumerate(prints):
+            cache.put(fingerprint, {"a": np.arange(4)})
+            os.utime(tmp_path / f"{fingerprint_key(fingerprint)}.npz",
+                     (index, index))  # deterministic LRU order
+        cache.put(self.fingerprint(99), {"a": np.arange(4)})
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        # Oldest entries went first; the newest stored one survives.
+        assert cache.get(prints[0]) is None
+        assert cache.get(self.fingerprint(99)) is not None
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        old, young = self.fingerprint(1), self.fingerprint(2)
+        for index, fingerprint in enumerate((old, young)):
+            cache.put(fingerprint, {"a": np.arange(4)})
+            os.utime(tmp_path / f"{fingerprint_key(fingerprint)}.npz",
+                     (index, index))
+        cache.get(old)  # refresh: now the *younger* entry is LRU
+        cache.put(self.fingerprint(3), {"a": np.arange(4)})
+        assert cache.get(old) is not None
+        assert cache.get(young) is None
+
+    def test_byte_budget_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        first, second = self.fingerprint(1), self.fingerprint(2)
+        cache.put(first, {"a": np.arange(100)})
+        os.utime(tmp_path / f"{fingerprint_key(first)}.npz", (1, 1))
+        cache.put(second, {"a": np.arange(100)})
+        # Budget of one byte: only the just-stored (protected) entry stays.
+        assert cache.keys() == [fingerprint_key(second)]
+        assert cache.stats.evictions == 1
+
+    def test_maintenance_helpers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(3):
+            cache.put(self.fingerprint(n), {"a": np.arange(4)})
+        assert len(cache) == 3
+        assert cache.total_bytes() > 0
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path, max_bytes=0)
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_stats_describe(self):
+        stats = CacheStats(hits=3, misses=1, stores=2, evictions=0)
+        assert stats.requests == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert "75.0%" in stats.describe()
+        assert CacheStats().hit_rate == 0.0

@@ -458,6 +458,45 @@ class TestCheckpointResume:
                                   checkpoint=checkpoint,
                                   stage="mc-verify-bbbb")
 
+    def test_kill_mid_write_preserves_last_checkpoint(self, tmp_path,
+                                                      monkeypatch):
+        # Satellite gate: checkpoint writes are atomic (temp file +
+        # rename), so a process killed mid-write leaves the previous
+        # checkpoint intact and the run resumable -- never a truncated
+        # npz that poisons every later resume.
+        config = MCConfig(n_samples=160, seed=7, chunk_lanes=32)
+        checkpoint = tmp_path / "killed.npz"
+        monte_carlo_streaming(metric_evaluator, C35, config,
+                              specs=self.SPECS, checkpoint=checkpoint,
+                              max_chunks=2)
+        intact = checkpoint.read_bytes()
+
+        real_savez = np.savez_compressed
+
+        def killed_mid_write(handle, **arrays):
+            handle.write(b"partial checkpoint bytes")
+            raise KeyboardInterrupt  # the kill lands inside the write
+
+        monkeypatch.setattr(np, "savez_compressed", killed_mid_write)
+        with pytest.raises(KeyboardInterrupt):
+            monte_carlo_streaming(metric_evaluator, C35, config,
+                                  specs=self.SPECS, checkpoint=checkpoint,
+                                  max_chunks=1)
+        monkeypatch.setattr(np, "savez_compressed", real_savez)
+        # The on-disk checkpoint is still the last complete one...
+        assert checkpoint.read_bytes() == intact
+        assert list(tmp_path.glob(".*.tmp")) == []
+        # ...and the resumed run matches an uninterrupted one exactly.
+        resumed = monte_carlo_streaming(metric_evaluator, C35, config,
+                                        specs=self.SPECS,
+                                        checkpoint=checkpoint)
+        whole = monte_carlo_streaming(metric_evaluator, C35, config,
+                                      specs=self.SPECS)
+        assert resumed.complete
+        for a, b in zip(accumulator_states(resumed),
+                        accumulator_states(whole)):
+            np.testing.assert_array_equal(a, b)
+
     def test_adaptive_resume_already_settled(self, tmp_path):
         # A resumed run whose checkpoint already satisfies the stopping
         # rule must return immediately without new simulation work.

@@ -1,0 +1,288 @@
+"""Workload abstraction tests.
+
+Covers the satellite gate on fingerprints -- stable across processes,
+invalidated by version/seed/spec/design changes, indifferent to
+execution backend -- and the cache round trip: a hit must rebuild a
+value bit-identical to the fresh run's.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cache import ResultCache, fingerprint_key
+from repro.errors import JobCancelled, LintGateError, WorkloadError
+from repro.mc import MCConfig
+from repro.measure.specs import Spec, SpecSet
+from repro.process import C35
+from repro.workload import (BatchYieldWorkload, CornerSweepWorkload,
+                            LintWorkload, StreamingYieldWorkload,
+                            SurrogateTrainWorkload, design_digest,
+                            guarded_progress, lint_workload_from_source,
+                            ota_estimate_workload)
+
+DESIGN = {"w1": 3e-05, "l1": 1e-06, "w2": 6e-05, "l2": 1e-06,
+          "w3": 1e-05, "l3": 2e-06, "w4": 2e-05, "l4": 2e-06}
+
+SPECS = SpecSet([Spec("metric", "ge", 10.0)])
+
+
+def metric_evaluator(sample):
+    """Deterministic function of the die parameters (no simulation)."""
+    return {"metric": 10.0 + 100.0 * sample.dvto_n}
+
+
+def estimate_workload(**overrides):
+    options = dict(n_samples=64, seed=7, chunk_lanes=16)
+    options.update(overrides)
+    return ota_estimate_workload(DESIGN, **options)
+
+
+class TestFingerprintStability:
+    def test_identical_across_processes(self):
+        # The satellite gate: the same request must fingerprint
+        # identically in a fresh interpreter (no per-process salt, no
+        # dict-order dependence, no id()s leaking in).
+        script = (
+            "import json, sys\n"
+            "from repro.workload import ota_estimate_workload\n"
+            "design = json.loads(sys.argv[1])\n"
+            "w = ota_estimate_workload(design, n_samples=64, seed=7, "
+            "chunk_lanes=16)\n"
+            "print(w.fingerprint())\n")
+        import json
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(DESIGN)],
+            capture_output=True, text=True, env=env, check=True)
+        assert result.stdout.strip() == estimate_workload().fingerprint()
+
+    def test_dict_and_flat_design_agree(self):
+        from repro.designs.ota import OTA_DESIGN_SPACE
+        flat = [DESIGN[name] for name in OTA_DESIGN_SPACE.names]
+        assert ota_estimate_workload(flat, seed=7).fingerprint() == \
+            ota_estimate_workload(DESIGN, seed=7).fingerprint()
+
+    def test_key_is_digest_of_fingerprint(self):
+        workload = estimate_workload()
+        assert workload.key() == fingerprint_key(workload.fingerprint())
+
+
+class TestFingerprintInvalidation:
+    def test_version_change_invalidates(self, monkeypatch):
+        before = estimate_workload().fingerprint()
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert estimate_workload().fingerprint() != before
+
+    def test_seed_and_count_invalidate(self):
+        base = estimate_workload().fingerprint()
+        assert estimate_workload(seed=8).fingerprint() != base
+        assert estimate_workload(n_samples=65).fingerprint() != base
+        assert estimate_workload(chunk_lanes=32).fingerprint() != base
+
+    def test_specs_invalidate(self):
+        base = estimate_workload().fingerprint()
+        tightened = estimate_workload(
+            specs=[["gain_db", "ge", 55.0, "dB"],
+                   ["pm_deg", "ge", 60.0, "deg"]])
+        assert tightened.fingerprint() != base
+
+    def test_design_invalidates(self):
+        other = dict(DESIGN, w1=DESIGN["w1"] * 1.01)
+        assert ota_estimate_workload(other, seed=7).fingerprint() != \
+            ota_estimate_workload(DESIGN, seed=7).fingerprint()
+
+    def test_testbench_invalidates(self):
+        assert estimate_workload(cl=20e-12).fingerprint() != \
+            estimate_workload().fingerprint()
+
+    def test_backend_and_workers_do_not(self):
+        # The repro.exec determinism contract: parallelisation never
+        # changes numbers, so it must never split the cache.
+        serial = StreamingYieldWorkload(
+            metric_evaluator, C35, SPECS,
+            MCConfig(n_samples=64, seed=1, chunk_lanes=16,
+                     backend="serial"))
+        pooled = StreamingYieldWorkload(
+            metric_evaluator, C35, SPECS,
+            MCConfig(n_samples=64, seed=1, chunk_lanes=16,
+                     backend="thread:4"))
+        assert serial.fingerprint() == pooled.fingerprint()
+
+    def test_corner_sweep_ignores_chunking_entirely(self):
+        from repro.corners import CornerGrid
+        grid = CornerGrid.full(C35)
+        coarse = CornerSweepWorkload(metric_evaluator, 4, C35, grid,
+                                     chunk_lanes=10)
+        fine = CornerSweepWorkload(metric_evaluator, 4, C35, grid,
+                                   chunk_lanes=1000, workers=3)
+        assert coarse.fingerprint() == fine.fingerprint()
+
+    def test_design_digest_distinguishes(self):
+        a = design_digest(reference=np.arange(8.0), pdk="c35")
+        b = design_digest(reference=np.arange(8.0) + 1e-12, pdk="c35")
+        assert a.startswith("design:")
+        assert a != b
+        assert a == design_digest(reference=np.arange(8.0), pdk="c35")
+
+
+class TestCacheRoundTrip:
+    def test_streaming_yield_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        workload = StreamingYieldWorkload(
+            metric_evaluator, C35, SPECS,
+            MCConfig(n_samples=128, seed=5, chunk_lanes=32))
+        fresh = workload.run_cached(cache)
+        hit = workload.run_cached(cache)
+        assert not fresh.cache_hit and hit.cache_hit
+        fresh_estimate, streaming = fresh.value
+        hit_estimate, no_streaming = hit.value
+        # YieldEstimate is a dataclass: equality is exact counts,
+        # per-spec dict and confidence -- the bit-identity gate.
+        assert hit_estimate == fresh_estimate
+        assert streaming is not None and no_streaming is None
+        assert hit.meta == fresh.meta
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_batch_yield_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        workload = BatchYieldWorkload(metric_evaluator, C35, SPECS,
+                                      MCConfig(n_samples=100, seed=3))
+        fresh = workload.run_cached(cache)
+        hit = workload.run_cached(cache)
+        assert hit.cache_hit
+        assert hit.value[0] == fresh.value[0]
+        assert fresh.value[1] is not None and hit.value[1] is None
+
+    def test_surrogate_bundle_bit_identical(self, tmp_path):
+        from repro.surrogate import surrogate_arrays
+        cache = ResultCache(tmp_path)
+        workload = SurrogateTrainWorkload(metric_evaluator, C35,
+                                          n_train=32, seed=2,
+                                          chunk_lanes=16)
+        fresh = workload.run_cached(cache)
+        hit = workload.run_cached(cache)
+        assert hit.cache_hit
+        fresh_arrays = surrogate_arrays(fresh.value)
+        hit_arrays = surrogate_arrays(hit.value)
+        assert set(fresh_arrays) == set(hit_arrays)
+        for name in fresh_arrays:
+            np.testing.assert_array_equal(hit_arrays[name],
+                                          fresh_arrays[name])
+
+    def test_uncacheable_lint_always_runs(self, tmp_path, netlist):
+        cache = ResultCache(tmp_path)
+        from repro.circuit.parser import parse_netlist
+        circuit = parse_netlist(netlist("good_divider"))
+        workload = LintWorkload(circuit, "warn")  # no source: opaque
+        assert not workload.cacheable
+        for _ in range(2):
+            assert not workload.run_cached(cache).cache_hit
+        assert cache.stats.requests == 0
+
+
+class TestLintWorkload:
+    def test_source_makes_it_cacheable(self, tmp_path, netlist):
+        cache = ResultCache(tmp_path)
+        workload = lint_workload_from_source(netlist("good_divider"),
+                                             "warn")
+        assert workload.cacheable
+        fresh = workload.run_cached(cache)
+        hit = workload.run_cached(cache)
+        assert hit.cache_hit
+        assert hit.meta == fresh.meta
+        assert hit.meta["ok"] is True
+
+    def test_different_netlists_different_keys(self, netlist):
+        a = lint_workload_from_source(netlist("good_divider"), "warn")
+        b = lint_workload_from_source(netlist("good_rc_ladder"), "warn")
+        assert a.key() != b.key()
+
+    def test_strict_gate_raises_through_run(self, netlist):
+        workload = lint_workload_from_source(netlist("bad_no_ground"),
+                                             "strict")
+        with pytest.raises(LintGateError):
+            workload.run()
+
+    def test_findings_in_meta(self, netlist):
+        workload = lint_workload_from_source(netlist("bad_no_ground"),
+                                             "warn")
+        meta = workload.run().meta
+        assert meta["errors"] >= 1
+        assert meta["ok"] is False
+        assert any(finding["rule"] == "missing-ground"
+                   for finding in meta["findings"])
+
+    def test_parse_errors_surface_at_construction(self):
+        with pytest.raises(Exception):
+            lint_workload_from_source("R1 only_one_node 1k\n")
+
+
+class TestRequestValidation:
+    def test_missing_design_parameter(self):
+        with pytest.raises(WorkloadError, match="missing parameter"):
+            ota_estimate_workload({"w1": 1e-05})
+
+    def test_wrong_design_shape(self):
+        with pytest.raises(WorkloadError, match="8 parameters"):
+            ota_estimate_workload([1.0, 2.0, 3.0])
+
+    def test_unknown_pdk(self):
+        with pytest.raises(WorkloadError, match="process kit"):
+            ota_estimate_workload(DESIGN, pdk="sky130")
+
+    def test_malformed_spec_entry(self):
+        with pytest.raises(WorkloadError, match="spec entry"):
+            ota_estimate_workload(DESIGN, specs=[["gain_db"]])
+
+
+class TestGuardedProgress:
+    def test_forwards_when_not_cancelled(self):
+        seen = []
+        guarded = guarded_progress(lambda *args: seen.append(args),
+                                   lambda: False)
+        guarded(3, 10)
+        assert seen == [(3, 10)]
+
+    def test_raises_on_cancel(self):
+        guarded = guarded_progress(None, lambda: True, "job-x")
+        with pytest.raises(JobCancelled, match="job-x"):
+            guarded(1, 2)
+
+    def test_no_cancel_returns_progress_unwrapped(self):
+        def progress(done, total):
+            pass
+
+        assert guarded_progress(progress, None) is progress
+        assert guarded_progress(None, None) is None
+
+    def test_cancel_mid_run_preserves_checkpoint(self, tmp_path):
+        # Cancelling a streaming workload at a progress boundary must
+        # leave the checkpoint of completed rounds behind, so the
+        # resubmitted job resumes instead of restarting.
+        checkpoint = tmp_path / "cancelled.npz"
+        workload = StreamingYieldWorkload(
+            metric_evaluator, C35, SPECS,
+            MCConfig(n_samples=160, seed=7, chunk_lanes=32))
+        calls = []
+
+        def cancel_after_two():
+            return len(calls) >= 2
+
+        with pytest.raises(JobCancelled):
+            workload.run(checkpoint=checkpoint,
+                         progress=lambda done, total: calls.append(done),
+                         cancel=cancel_after_two)
+        assert checkpoint.exists()
+        resumed = workload.run(checkpoint=checkpoint)
+        estimate, streaming = resumed.value
+        whole = workload.run()
+        assert estimate == whole.value[0]
+        assert streaming.samples_resumed > 0
