@@ -12,12 +12,20 @@ capture.
 """
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
 
 from repro.flow import (FilterFlowConfig, FlowConfig, paper_scale_config,
                         run_filter_flow, run_model_build_flow)
+
+# The statistical ground-truth helpers (tests/statcheck.py) are shared
+# with the test suite; pytest puts each rootdir on sys.path separately,
+# so the benchmarks add the tests directory explicitly.
+TESTS_DIR = str(Path(__file__).parent.parent / "tests")
+if TESTS_DIR not in sys.path:
+    sys.path.insert(0, TESTS_DIR)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

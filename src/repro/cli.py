@@ -94,6 +94,12 @@ def _cmd_build(args) -> int:
         print("error: --checkpoint needs --adaptive-ci to enable the "
               "streaming verification stage", file=sys.stderr)
         return 2
+    if args.high_sigma_budget < 0:
+        print("error: --high-sigma-budget must be >= 0", file=sys.stderr)
+        return 2
+    high_sigma_budget = args.high_sigma_budget
+    if args.high_sigma and not high_sigma_budget:
+        high_sigma_budget = 1000  # the stage's default per-level budget
     try:
         config = dataclasses.replace(
             config, corners=args.corners,
@@ -105,6 +111,9 @@ def _cmd_build(args) -> int:
             fidelity_budget=args.fidelity_budget,
             adaptive_ci=args.adaptive_ci,
             streaming_checkpoint=args.checkpoint,
+            high_sigma=bool(high_sigma_budget),
+            high_sigma_per_level=high_sigma_budget or 1000,
+            high_sigma_final=2 * high_sigma_budget or 2000,
             lint=args.lint)
         config.corner_grid(C35)  # fail fast on unknown corner names
     except ReproError as error:
@@ -313,6 +322,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "verification; an interrupted build resumes "
                             "from it instead of restarting the stage "
                             "(needs --adaptive-ci)")
+    build.add_argument("--high-sigma", action="store_true",
+                       help="enable the stage-4d high-sigma verification: "
+                            "a rare-event (multilevel splitting + "
+                            "importance sampling) failure-probability "
+                            "estimate of the mid-front design, saved as "
+                            "high_sigma.txt")
+    build.add_argument("--high-sigma-budget", type=int, default=0,
+                       help="per-level sample budget of the high-sigma "
+                            "stage (implies --high-sigma; default 1000 "
+                            "when --high-sigma is given; the final "
+                            "unbiased run uses twice this)")
     build.add_argument("--yield-objective", default="none",
                        choices=["none", "yield", "ksigma", "chance"],
                        help="stage-7 in-loop yield search mode: append a "

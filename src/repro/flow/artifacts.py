@@ -22,6 +22,9 @@ exactly that artefact set for a finished
 * ``streaming_verification.txt`` -- the stage-4c streaming adaptive
   yield verification report (per-performance online statistics, yield
   with Wilson interval, adaptive-stop state; when the stage ran);
+* ``high_sigma.txt`` -- the stage-4d rare-event verification report
+  (failure probability with CI, equivalent sigma, per-level splitting
+  ledger; when the stage ran);
 * ``flow_result.npz`` + ``flow_summary.json`` -- full numeric state
   (including per-corner performance arrays), so a flow run can be
   reloaded without re-simulating.
@@ -159,6 +162,12 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
         streaming_path = directory / "streaming_verification.txt"
         streaming_path.write_text(streaming.describe() + "\n")
         written["streaming_verification"] = streaming_path
+    high_sigma = getattr(result, "high_sigma", None)
+    if high_sigma is not None:
+        high_sigma_path = directory / "high_sigma.txt"
+        high_sigma_path.write_text(high_sigma.describe() + "\n")
+        written["high_sigma"] = high_sigma_path
+        arrays["high_sigma_shift"] = np.asarray(high_sigma.shift_sigma)
     npz_path = directory / "flow_result.npz"
     np.savez_compressed(npz_path, **arrays)
     written["arrays"] = npz_path
@@ -222,6 +231,22 @@ def save_flow_artifacts(result, directory) -> dict[str, Path]:
             "samples_cap": int(streaming.samples_cap),
             "stopped_early": bool(streaming.stopped_early),
             "interrupted": bool(streaming.interrupted),
+        }
+    if high_sigma is not None:
+        lo, hi = high_sigma.interval
+        summary["high_sigma"] = {
+            "p_fail": float(high_sigma.p_fail),
+            "sigma_level": (float(high_sigma.sigma_level)
+                            if np.isfinite(high_sigma.sigma_level)
+                            else None),
+            "confidence": float(high_sigma.confidence),
+            "interval": [float(lo), float(hi)],
+            "n_levels": int(high_sigma.n_levels),
+            "total_simulations": int(high_sigma.total_simulations),
+            "effective_samples": float(high_sigma.effective_samples),
+            "levels_converged": bool(high_sigma.levels_converged),
+            "acceptance_rates": [float(rate) for rate
+                                 in high_sigma.acceptance_rates],
         }
     json_path = directory / "flow_summary.json"
     json_path.write_text(json.dumps(summary, indent=2))

@@ -75,9 +75,11 @@ from ..moo.wbga import WBGAResult, run_wbga
 from ..process import C35, ProcessKit
 from ..tablemodel.pareto_table import ParetoTableModel
 from ..workload import (CornerSweepWorkload, LintWorkload, MCPointsWorkload,
-                        StreamingYieldWorkload, SurrogateTrainWorkload,
-                        YieldSearchWorkload, design_digest,
-                        ota_points_evaluator, ota_reference_evaluator)
+                        RareEventWorkload, StreamingYieldWorkload,
+                        SurrogateTrainWorkload, YieldSearchWorkload,
+                        design_digest, ota_points_evaluator,
+                        ota_reference_evaluator)
+from ..yieldmodel.rare import RareEventConfig, RareEventResult
 from ..yieldmodel.targeting import CombinedYieldModel
 from ..yieldmodel.variation import DEFAULT_K_SIGMA, variation_columns
 from .accounting import SimulationLedger
@@ -146,6 +148,16 @@ class FlowConfig:
     #: An interrupted build re-run with the same seed resumes the
     #: verification from this file instead of restarting it.
     streaming_checkpoint: str = ""
+    #: Stage-4d high-sigma verification: estimate the rare-event failure
+    #: probability of the mid-front design against the corner specs via
+    #: multilevel splitting + adaptive importance sampling
+    #: (:mod:`repro.yieldmodel.rare`) -- resolves 5-6 sigma failure
+    #: rates the sampling stages cannot see.  ``False`` skips the stage.
+    high_sigma: bool = False
+    #: Per-splitting-level sample budget of the stage-4d estimator.
+    high_sigma_per_level: int = 1000
+    #: Final unbiased importance-sampling budget of stage 4d.
+    high_sigma_final: int = 2000
     #: Simulator budget of the optional surrogate-training stage
     #: (stage 6); 0 disables the stage entirely.
     surrogate_budget: int = 0
@@ -255,6 +267,11 @@ class FlowResult:
         design (:class:`repro.mc.streaming.StreamingResult`: online
         accumulators, yield counts, stop state), or ``None`` when the
         stage was disabled (``config.adaptive_ci == 0``).
+    high_sigma:
+        Stage-4d rare-event failure-probability estimate of the
+        mid-front design (:class:`repro.yieldmodel.rare.RareEventResult`),
+        or ``None`` when the stage was disabled
+        (``config.high_sigma == False``).
     ledger:
         Simulation/time accounting for the Table-5 comparison.
     """
@@ -275,6 +292,7 @@ class FlowResult:
     yield_search: "YieldSearchResult | None" = None
     filter_yield_search: "YieldSearchResult | None" = None
     streaming_verification: "StreamingResult | None" = None
+    high_sigma: RareEventResult | None = None
     ledger: SimulationLedger = field(default_factory=SimulationLedger)
 
     @property
@@ -503,6 +521,34 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
                 f"{streaming_verification.samples_done}/"
                 f"{streaming_verification.samples_cap} samples")
 
+    # Stage 4d (optional): high-sigma rare-event verification of the
+    # mid-front design -- multilevel splitting + adaptive importance
+    # sampling resolves failure rates far below what stages 4/4c can
+    # see at their sample budgets.
+    high_sigma = None
+    if config.high_sigma:
+        reference = natural_params[k_points // 2]
+        say(f"high-sigma verification: rare-event estimate "
+            f"({config.high_sigma_per_level}/level, "
+            f"{config.high_sigma_final} final) at the mid-front design")
+        rare_config = RareEventConfig(
+            n_per_level=config.high_sigma_per_level,
+            n_final=config.high_sigma_final, seed=config.seed,
+            chunk_lanes=config.mc_chunk_lanes,
+            backend=config.mc_backend, workers=config.mc_workers)
+        with ledger.timed("high-sigma verification"):
+            high_sigma = RareEventWorkload(
+                ota_reference_evaluator(reference, pdk=pdk, cl=config.cl,
+                                        ibias=config.ibias),
+                pdk, config.corner_specs(), rare_config,
+                evaluator_id=design_digest(
+                    reference=reference, pdk=pdk.name,
+                    cl=config.cl, ibias=config.ibias)).run().value
+        ledger.record("high-sigma verification",
+                      high_sigma.total_simulations, 0.0)
+        for line in high_sigma.describe().splitlines():
+            say(f"  {line}")
+
     # Stage 5: table-model generation -> the combined model.
     with ledger.timed("table model generation"):
         # Smooth the per-point variation estimates along the front: the
@@ -594,5 +640,6 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         yield_search=yield_search,
         filter_yield_search=filter_yield_search,
         streaming_verification=streaming_verification,
+        high_sigma=high_sigma,
         ledger=ledger,
     )

@@ -30,21 +30,67 @@ Request kinds
     ``mode`` defaults to ``"warn"`` at the service boundary (report,
     don't raise): a strict gate turns findings into a *failed* job,
     which is also supported but rarely what a lint client wants.
+
+``rare``
+    High-sigma rare-event failure estimate of one OTA design
+    (:func:`repro.yieldmodel.rare.estimate_yield_rare`)::
+
+        {"kind": "rare", "design": {...},
+         "n_per_level": 2000, "n_final": 4000, "seed": 2008,
+         "specs": [["gain_db", "ge", 50.0, "dB"]]}
+
+    Same ``design``/``specs`` conventions as ``estimate``; the other
+    fields mirror :class:`~repro.yieldmodel.rare.RareEventConfig`.
+
+``corners``
+    Deterministic PVT corner sweep of one OTA design::
+
+        {"kind": "corners", "design": {...},
+         "corners": "ws,wp", "vdds": "3.0,3.3,3.6", "temps": "-40,27,125"}
+
+    Grid specs are the CLI's comma-separated strings; all optional
+    (``corners`` defaults to every kit corner, empty supply/temperature
+    lists mean the kit defaults).
+
+``surrogate``
+    Process-space surrogate training for one OTA design::
+
+        {"kind": "surrogate", "design": {...},
+         "n_train": 96, "surrogate_kind": "quadratic", "seed": 2008}
 """
 
 from __future__ import annotations
 
 from ..errors import WorkloadError
 from ..workload import (Workload, lint_workload_from_source,
-                        ota_estimate_workload)
+                        ota_corner_workload, ota_estimate_workload,
+                        ota_rare_workload, ota_surrogate_workload)
 
 __all__ = ["workload_from_request", "REQUEST_KINDS"]
 
 #: Request kinds the service understands.
-REQUEST_KINDS = ("estimate", "lint")
+REQUEST_KINDS = ("estimate", "lint", "rare", "corners", "surrogate")
 
 _ESTIMATE_FIELDS = ("n_samples", "seed", "chunk_lanes", "specs",
                     "adaptive_ci", "check_every", "pdk", "cl", "ibias")
+
+_RARE_FIELDS = ("n_per_level", "max_levels", "level_quantile", "n_final",
+                "seed", "chunk_lanes", "specs", "max_shift_sigma",
+                "include_mismatch", "confidence", "pdk", "cl", "ibias")
+
+_CORNERS_FIELDS = ("corners", "vdds", "temps", "pdk", "cl", "ibias",
+                   "chunk_lanes")
+
+_SURROGATE_FIELDS = ("n_train", "seed", "surrogate_kind",
+                     "include_mismatch", "chunk_lanes", "pdk", "cl",
+                     "ibias")
+
+_DESIGN_KINDS = {
+    "estimate": (_ESTIMATE_FIELDS, ota_estimate_workload),
+    "rare": (_RARE_FIELDS, ota_rare_workload),
+    "corners": (_CORNERS_FIELDS, ota_corner_workload),
+    "surrogate": (_SURROGATE_FIELDS, ota_surrogate_workload),
+}
 
 
 def workload_from_request(request: dict) -> Workload:
@@ -61,16 +107,17 @@ def workload_from_request(request: dict) -> Workload:
         raise WorkloadError(f"request must be a JSON object, "
                             f"got {type(request).__name__}")
     kind = request.get("kind")
-    if kind == "estimate":
+    if kind in _DESIGN_KINDS:
+        fields, constructor = _DESIGN_KINDS[kind]
         if "design" not in request:
-            raise WorkloadError("estimate request needs a 'design' field")
-        unknown = set(request) - {"kind", "design", *_ESTIMATE_FIELDS}
+            raise WorkloadError(f"{kind} request needs a 'design' field")
+        unknown = set(request) - {"kind", "design", *fields}
         if unknown:
             raise WorkloadError(
-                f"unknown estimate field(s): {', '.join(sorted(unknown))}")
-        options = {name: request[name] for name in _ESTIMATE_FIELDS
+                f"unknown {kind} field(s): {', '.join(sorted(unknown))}")
+        options = {name: request[name] for name in fields
                    if name in request}
-        return ota_estimate_workload(request["design"], **options)
+        return constructor(request["design"], **options)
     if kind == "lint":
         if "netlist" not in request:
             raise WorkloadError("lint request needs a 'netlist' field")

@@ -33,17 +33,20 @@ service layer (:mod:`repro.service`) queues them.
 
 from .base import Workload, WorkloadResult, guarded_progress
 from .designs import (design_digest, lint_workload_from_source,
-                      ota_estimate_workload, ota_points_evaluator,
-                      ota_reference_evaluator)
+                      ota_corner_workload, ota_estimate_workload,
+                      ota_points_evaluator, ota_rare_workload,
+                      ota_reference_evaluator, ota_surrogate_workload)
 from .units import (BatchYieldWorkload, CornerSweepWorkload, LintWorkload,
-                    MCPointsWorkload, StreamingYieldWorkload,
-                    SurrogateTrainWorkload, YieldSearchWorkload)
+                    MCPointsWorkload, RareEventWorkload,
+                    StreamingYieldWorkload, SurrogateTrainWorkload,
+                    YieldSearchWorkload)
 
 __all__ = [
     "Workload", "WorkloadResult", "guarded_progress",
     "LintWorkload", "MCPointsWorkload", "CornerSweepWorkload",
-    "StreamingYieldWorkload", "BatchYieldWorkload",
+    "StreamingYieldWorkload", "BatchYieldWorkload", "RareEventWorkload",
     "SurrogateTrainWorkload", "YieldSearchWorkload",
     "design_digest", "ota_reference_evaluator", "ota_points_evaluator",
-    "ota_estimate_workload", "lint_workload_from_source",
+    "ota_estimate_workload", "ota_rare_workload", "ota_corner_workload",
+    "ota_surrogate_workload", "lint_workload_from_source",
 ]

@@ -13,16 +13,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..cache import canonicalize, fingerprint_key
-from ..errors import WorkloadError
+from ..errors import ReproError, WorkloadError, YieldModelError
 from ..mc.engine import MCConfig
 from ..mc.streaming import AdaptiveStop
 from ..measure.specs import Spec, SpecSet
 from ..process import C35
-from .units import LintWorkload, StreamingYieldWorkload
+from ..yieldmodel.rare import RareEventConfig
+from .units import (CornerSweepWorkload, LintWorkload, RareEventWorkload,
+                    StreamingYieldWorkload, SurrogateTrainWorkload)
 
 __all__ = ["design_digest", "ota_reference_evaluator",
-           "ota_estimate_workload", "lint_workload_from_source",
-           "DEFAULT_OTA_SPECS"]
+           "ota_estimate_workload", "ota_rare_workload",
+           "ota_corner_workload", "ota_surrogate_workload",
+           "lint_workload_from_source", "DEFAULT_OTA_SPECS"]
 
 #: The paper's section-5 OTA requirement -- the default spec set of a
 #: service ``estimate`` request.
@@ -114,6 +117,26 @@ def _specs_from_request(entries) -> SpecSet:
     return SpecSet(specs)
 
 
+def _reference_from_design(design) -> np.ndarray:
+    """The natural-unit ``(8,)`` parameter vector a request's ``design``
+    field describes (mapping keyed by the OTA design-space names, or a
+    flat 8-sequence in W1 L1 ... W4 L4 order)."""
+    from ..designs.ota import OTA_DESIGN_SPACE
+    if isinstance(design, dict):
+        try:
+            reference = np.array([float(design[name])
+                                  for name in OTA_DESIGN_SPACE.names])
+        except KeyError as missing:
+            raise WorkloadError(
+                f"design is missing parameter {missing}") from None
+    else:
+        reference = np.asarray(design, dtype=float)
+    if reference.shape != (8,):
+        raise WorkloadError(
+            f"design must have exactly 8 parameters, got {reference.shape}")
+    return reference
+
+
 def ota_estimate_workload(design, *, n_samples: int = 500, seed: int = 2008,
                           chunk_lanes: int = 256, specs=None,
                           adaptive_ci: float = 0.0, check_every: int = 1,
@@ -133,19 +156,7 @@ def ota_estimate_workload(design, *, n_samples: int = 500, seed: int = 2008,
         Target Wilson-interval full width; 0 runs the exact
         ``n_samples`` count.
     """
-    from ..designs.ota import OTA_DESIGN_SPACE
-    if isinstance(design, dict):
-        try:
-            reference = np.array([float(design[name])
-                                  for name in OTA_DESIGN_SPACE.names])
-        except KeyError as missing:
-            raise WorkloadError(
-                f"design is missing parameter {missing}") from None
-    else:
-        reference = np.asarray(design, dtype=float)
-    if reference.shape != (8,):
-        raise WorkloadError(
-            f"design must have exactly 8 parameters, got {reference.shape}")
+    reference = _reference_from_design(design)
     kit = resolve_pdk(pdk)
     spec_set = _specs_from_request(specs if specs is not None
                                    else DEFAULT_OTA_SPECS)
@@ -157,6 +168,102 @@ def ota_estimate_workload(design, *, n_samples: int = 500, seed: int = 2008,
     return StreamingYieldWorkload(
         ota_reference_evaluator(reference, pdk=kit, cl=cl, ibias=ibias),
         kit, spec_set, config, adaptive=adaptive,
+        evaluator_id=design_digest(reference=reference, pdk=kit.name,
+                                   cl=cl, ibias=ibias))
+
+
+def ota_rare_workload(design, *, n_per_level: int = 2000,
+                      max_levels: int = 12, level_quantile: float = 0.25,
+                      n_final: int = 4000, seed: int = 2008,
+                      chunk_lanes: int = 4000, specs=None,
+                      max_shift_sigma: float = 6.0,
+                      include_mismatch: bool = True,
+                      confidence: float = 0.95, pdk: str = "c35",
+                      cl: float = 10e-12,
+                      ibias: float = 20e-6) -> RareEventWorkload:
+    """A high-sigma rare-event failure estimate of one OTA design, from
+    plain JSON (:func:`repro.yieldmodel.rare.estimate_yield_rare`).
+
+    Same ``design``/``specs`` conventions as
+    :func:`ota_estimate_workload`; the remaining knobs mirror
+    :class:`~repro.yieldmodel.rare.RareEventConfig`.
+    """
+    reference = _reference_from_design(design)
+    kit = resolve_pdk(pdk)
+    spec_set = _specs_from_request(specs if specs is not None
+                                   else DEFAULT_OTA_SPECS)
+    try:
+        config = RareEventConfig(
+            n_per_level=int(n_per_level), max_levels=int(max_levels),
+            level_quantile=float(level_quantile), n_final=int(n_final),
+            seed=int(seed), max_shift_sigma=float(max_shift_sigma),
+            include_mismatch=bool(include_mismatch),
+            confidence=float(confidence), chunk_lanes=int(chunk_lanes))
+    except YieldModelError as error:
+        # Config bounds are request errors: surface them at the
+        # submission boundary like every other malformed field.
+        raise WorkloadError(str(error)) from None
+    return RareEventWorkload(
+        ota_reference_evaluator(reference, pdk=kit, cl=cl, ibias=ibias),
+        kit, spec_set, config,
+        evaluator_id=design_digest(reference=reference, pdk=kit.name,
+                                   cl=cl, ibias=ibias))
+
+
+def ota_corner_workload(design, *, corners: str = "all", vdds: str = "",
+                        temps: str = "", pdk: str = "c35",
+                        cl: float = 10e-12, ibias: float = 20e-6,
+                        chunk_lanes: int = 0) -> CornerSweepWorkload:
+    """A deterministic PVT corner sweep of one OTA design, from plain
+    JSON (:func:`repro.corners.corner_sweep_points`).
+
+    ``corners``/``vdds``/``temps`` are the CLI-style comma-separated
+    specs of :meth:`repro.corners.CornerGrid.from_spec` (``corners``
+    defaults to every kit corner, empty ``vdds``/``temps`` mean the
+    default supply/temperature sets).
+    """
+    from ..corners.grid import CornerGrid
+    reference = _reference_from_design(design)
+    kit = resolve_pdk(pdk)
+    try:
+        grid = CornerGrid.from_spec(kit, str(corners), str(vdds),
+                                    str(temps))
+    except ReproError as error:
+        # Bad grid specs are request errors: surface them at the
+        # submission boundary like every other malformed field.
+        raise WorkloadError(str(error)) from None
+    return CornerSweepWorkload(
+        ota_points_evaluator(reference[None, :], pdk=kit, cl=cl,
+                             ibias=ibias),
+        1, kit, grid, chunk_lanes=int(chunk_lanes),
+        evaluator_id=design_digest(reference=reference, pdk=kit.name,
+                                   cl=cl, ibias=ibias))
+
+
+def ota_surrogate_workload(design, *, n_train: int = 96, seed: int = 2008,
+                           surrogate_kind: str = "quadratic",
+                           include_mismatch: bool = True,
+                           chunk_lanes: int = 4000, pdk: str = "c35",
+                           cl: float = 10e-12,
+                           ibias: float = 20e-6) -> SurrogateTrainWorkload:
+    """A process-space surrogate training run for one OTA design, from
+    plain JSON (:func:`repro.surrogate.train_surrogates`)."""
+    from ..surrogate.regression import SURROGATE_KINDS
+    reference = _reference_from_design(design)
+    kit = resolve_pdk(pdk)
+    surrogate_kind = str(surrogate_kind).strip().lower()
+    if surrogate_kind not in SURROGATE_KINDS:
+        raise WorkloadError(
+            f"unknown surrogate kind {surrogate_kind!r} "
+            f"(known: {', '.join(sorted(SURROGATE_KINDS))})")
+    if int(n_train) < 2:
+        raise WorkloadError("n_train must be >= 2")
+    return SurrogateTrainWorkload(
+        ota_reference_evaluator(reference, pdk=kit, cl=cl, ibias=ibias),
+        kit, n_train=int(n_train), seed=int(seed),
+        surrogate_kind=surrogate_kind,
+        include_mismatch=bool(include_mismatch),
+        chunk_lanes=int(chunk_lanes),
         evaluator_id=design_digest(reference=reference, pdk=kit.name,
                                    cl=cl, ibias=ibias))
 

@@ -19,11 +19,14 @@ from ..surrogate import (surrogate_arrays, surrogates_from_arrays,
                          train_surrogates)
 from ..yieldmodel.estimator import (YieldEstimate, estimate_yield,
                                     estimate_yield_streaming)
+from ..yieldmodel.rare import (RareEventConfig, RareEventResult, RareLevel,
+                               estimate_yield_rare)
 from .base import Workload, WorkloadResult
 
 __all__ = ["LintWorkload", "MCPointsWorkload", "CornerSweepWorkload",
            "StreamingYieldWorkload", "BatchYieldWorkload",
-           "SurrogateTrainWorkload", "YieldSearchWorkload"]
+           "RareEventWorkload", "SurrogateTrainWorkload",
+           "YieldSearchWorkload"]
 
 
 def _mc_config_payload(config: MCConfig) -> dict:
@@ -288,6 +291,96 @@ class BatchYieldWorkload(Workload):
 
     def _value_from_arrays(self, arrays: dict, meta: dict):
         return _yield_from_arrays(arrays, meta), None
+
+
+class RareEventWorkload(Workload):
+    """High-sigma rare-event failure-probability estimation
+    (:func:`repro.yieldmodel.rare.estimate_yield_rare`).
+
+    Fully cacheable: a :class:`~repro.yieldmodel.rare.RareEventResult`
+    round-trips losslessly through flat arrays (scalars, the final
+    proposal shift, and the per-level ledger), so a cache hit rebuilds
+    the exact result a fresh run produced -- including every level's
+    acceptance rate and threshold.  ``backend``/``workers`` stay out of
+    the fingerprint (determinism contract); ``chunk_lanes`` stays *in*
+    because it fixes the per-chunk mismatch streams.
+    """
+
+    kind: ClassVar[str] = "yield-rare"
+
+    def __init__(self, evaluator, pdk, specs, config: RareEventConfig, *,
+                 stage: str = "high-sigma", evaluator_id: str = "") -> None:
+        self.evaluator = evaluator
+        self.pdk = pdk
+        self.specs = specs
+        self.rare_config = config
+        self.stage = stage
+        self.evaluator_id = evaluator_id
+
+    def config(self) -> dict:
+        rare = self.rare_config
+        return {
+            "pdk": self.pdk.name,
+            "specs": self.specs.describe(),
+            "stage": self.stage,
+            "n_per_level": rare.n_per_level,
+            "max_levels": rare.max_levels,
+            "level_quantile": rare.level_quantile,
+            "n_final": rare.n_final,
+            "seed": rare.seed,
+            "max_shift_sigma": rare.max_shift_sigma,
+            "include_mismatch": rare.include_mismatch,
+            "confidence": rare.confidence,
+            "chunk_lanes": rare.chunk_lanes,
+        }
+
+    def _execute(self, *, checkpoint, progress) -> WorkloadResult:
+        result = estimate_yield_rare(self.evaluator, self.specs, self.pdk,
+                                     self.rare_config, progress=progress)
+        arrays = {
+            "rare_scalars": np.array([result.p_fail, result.std_error,
+                                      result.effective_samples,
+                                      result.confidence], dtype=np.float64),
+            "rare_shift": np.asarray(result.shift_sigma, dtype=np.float64),
+            # Per-level ledger: index, n_samples, threshold, acceptance,
+            # failure_fraction -- one row per splitting level.
+            "level_table": np.array(
+                [[level.index, level.n_samples, level.threshold,
+                  level.acceptance, level.failure_fraction]
+                 for level in result.levels],
+                dtype=np.float64).reshape(len(result.levels), 5),
+            "level_shifts": np.array(
+                [level.shift_sigma for level in result.levels],
+                dtype=np.float64).reshape(len(result.levels), -1),
+        }
+        meta = {
+            "n_final": result.n_final,
+            "levels_converged": result.levels_converged,
+            "p_fail": result.p_fail,
+            "sigma_level": result.sigma_level,
+            "total_simulations": result.total_simulations,
+            "describe": result.describe(),
+        }
+        return self._result(meta=meta, arrays=arrays, value=result)
+
+    def _value_from_arrays(self, arrays: dict, meta: dict) -> RareEventResult:
+        scalars = np.asarray(arrays["rare_scalars"], dtype=np.float64)
+        table = np.asarray(arrays["level_table"], dtype=np.float64)
+        shifts = np.asarray(arrays["level_shifts"], dtype=np.float64)
+        levels = [RareLevel(index=int(row[0]), n_samples=int(row[1]),
+                            threshold=float(row[2]),
+                            acceptance=float(row[3]),
+                            failure_fraction=float(row[4]),
+                            shift_sigma=shifts[number])
+                  for number, row in enumerate(table)]
+        return RareEventResult(
+            p_fail=float(scalars[0]), std_error=float(scalars[1]),
+            levels=levels,
+            shift_sigma=np.asarray(arrays["rare_shift"], dtype=np.float64),
+            n_final=int(meta["n_final"]),
+            effective_samples=float(scalars[2]),
+            levels_converged=bool(meta["levels_converged"]),
+            confidence=float(scalars[3]))
 
 
 class SurrogateTrainWorkload(Workload):

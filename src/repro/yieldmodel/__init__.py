@@ -7,6 +7,9 @@ from .estimator import (YieldEstimate, estimate_yield,
 from .importance import (ImportanceSamplingConfig, ImportanceSamplingEstimate,
                          estimate_yield_importance, global_sigmas,
                          shifted_sample)
+from .rare import (RareEventConfig, RareEventResult, RareLevel,
+                   direct_mc_samples_for_halfwidth, equivalent_sigma,
+                   estimate_yield_rare)
 from .targeting import CombinedYieldModel, GuardBandedTarget, YieldTargetedDesign
 from .variation import (DEFAULT_K_SIGMA, smooth_along_front,
                         variation_columns, variation_percent)
@@ -17,6 +20,9 @@ __all__ = [
     "wilson_interval", "normal_interval", "z_value",
     "ImportanceSamplingConfig", "ImportanceSamplingEstimate",
     "estimate_yield_importance", "global_sigmas", "shifted_sample",
+    "RareEventConfig", "RareEventResult", "RareLevel",
+    "estimate_yield_rare", "equivalent_sigma",
+    "direct_mc_samples_for_halfwidth",
     "CombinedYieldModel", "GuardBandedTarget", "YieldTargetedDesign",
     "DEFAULT_K_SIGMA", "smooth_along_front", "variation_columns",
     "variation_percent",

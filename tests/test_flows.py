@@ -377,3 +377,46 @@ class TestStreamingVerificationStage:
         with pytest.raises(ReproError, match="incompatible"):
             run_model_build_flow(
                 dataclasses.replace(base, generations=8))
+
+
+class TestHighSigmaStage:
+    """Stage 4d: the rare-event high-sigma verification."""
+
+    @pytest.fixture(scope="class")
+    def high_sigma_flow(self):
+        config = dataclasses.replace(
+            reduced_config(), generations=6,
+            high_sigma=True, high_sigma_per_level=200,
+            high_sigma_final=300, mc_chunk_lanes=128,
+            corners="tm", corner_vdds=(3.3,), corner_temps=(27.0,))
+        return run_model_build_flow(config)
+
+    def test_stage_runs_and_reports(self, high_sigma_flow):
+        result = high_sigma_flow.high_sigma
+        assert result is not None
+        assert result.n_levels >= 1
+        assert 0.0 <= result.p_fail <= 1.0
+        assert result.n_final == 300
+        assert all(level.n_samples == 200 for level in result.levels)
+
+    def test_costs_in_flow_ledger(self, high_sigma_flow):
+        record = high_sigma_flow.ledger.stages["high-sigma verification"]
+        assert record.simulations == \
+            high_sigma_flow.high_sigma.total_simulations
+
+    def test_artifacts_include_report(self, high_sigma_flow, tmp_path):
+        written = save_flow_artifacts(high_sigma_flow, tmp_path)
+        assert written["high_sigma"].exists()
+        report = written["high_sigma"].read_text()
+        assert "p_fail" in report and "sigma" in report
+        summary = json.loads((tmp_path / "flow_summary.json").read_text())
+        entry = summary["high_sigma"]
+        assert entry["p_fail"] == high_sigma_flow.high_sigma.p_fail
+        assert entry["total_simulations"] == \
+            high_sigma_flow.high_sigma.total_simulations
+        assert entry["interval"][0] <= entry["interval"][1]
+        assert len(entry["acceptance_rates"]) == \
+            high_sigma_flow.high_sigma.n_levels
+
+    def test_disabled_by_default(self, reduced_flow):
+        assert reduced_flow.high_sigma is None

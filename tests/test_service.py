@@ -219,6 +219,77 @@ class TestRequests:
             with pytest.raises(WorkloadError, match=match):
                 workload_from_request(request)
 
+    def test_rare_request_builds_workload(self):
+        workload = workload_from_request(
+            {"kind": "rare", "design": DESIGN, "n_per_level": 64,
+             "n_final": 64, "max_levels": 2, "chunk_lanes": 32})
+        assert workload.kind == "yield-rare"
+        assert workload.cacheable
+
+    def test_corners_request_builds_workload(self):
+        workload = workload_from_request(
+            {"kind": "corners", "design": DESIGN, "corners": "tm,ws",
+             "vdds": "3.3", "temps": "27"})
+        assert workload.kind == "corner-sweep"
+        assert workload.grid.size == 2
+
+    def test_surrogate_request_builds_workload(self):
+        workload = workload_from_request(
+            {"kind": "surrogate", "design": DESIGN, "n_train": 32,
+             "surrogate_kind": "linear"})
+        assert workload.kind == "surrogate-train"
+        assert workload.surrogate_kind == "linear"
+
+    @pytest.mark.parametrize("request_dict", [
+        {"kind": "rare", "design": None, "n_per_level": 64, "n_final": 64,
+         "max_levels": 2, "chunk_lanes": 32},
+        {"kind": "corners", "design": None, "corners": "tm", "vdds": "3.3",
+         "temps": "27"},
+        {"kind": "surrogate", "design": None, "n_train": 32},
+    ])
+    def test_new_kinds_share_cache_keys(self, request_dict):
+        # Identity: same design + config from different request objects
+        # must address one cache entry; a changed design must not.
+        request_dict = dict(request_dict, design=DESIGN)
+        a = workload_from_request(request_dict)
+        b = workload_from_request(
+            dict(request_dict, design=dict(DESIGN)))
+        assert a.key() == b.key()
+        other = dict(DESIGN, w1=DESIGN["w1"] * 1.5)
+        c = workload_from_request(dict(request_dict, design=other))
+        assert c.key() != a.key()
+
+    def test_new_kind_rejections(self):
+        for request, match in (
+                ({"kind": "rare"}, "design"),
+                ({"kind": "rare", "design": DESIGN, "bogus": 1},
+                 "unknown rare field"),
+                ({"kind": "rare", "design": DESIGN, "n_final": 0},
+                 "n_per_level and n_final"),
+                ({"kind": "corners", "design": DESIGN,
+                  "corners": "nope"}, "unknown corner"),
+                ({"kind": "corners", "design": DESIGN, "vdds": "abc"},
+                 "bad PVT grid"),
+                ({"kind": "surrogate", "design": DESIGN,
+                  "surrogate_kind": "cubic"}, "unknown surrogate kind"),
+                ({"kind": "surrogate", "design": DESIGN, "n_train": 1},
+                 "n_train")):
+            with pytest.raises(WorkloadError, match=match):
+                workload_from_request(request)
+
+    def test_rare_request_round_trips_through_cache(self, tmp_path):
+        from repro.cache import ResultCache
+        request = {"kind": "rare", "design": DESIGN, "n_per_level": 48,
+                   "n_final": 48, "max_levels": 2, "chunk_lanes": 24,
+                   "include_mismatch": False}
+        cache = ResultCache(tmp_path)
+        fresh = workload_from_request(request).run_cached(cache)
+        hit = workload_from_request(dict(request)).run_cached(cache)
+        assert fresh.cache_hit is False and hit.cache_hit is True
+        assert hit.value.p_fail == fresh.value.p_fail
+        assert hit.value.total_simulations == fresh.value.total_simulations
+        assert hit.value.describe() == fresh.value.describe()
+
 
 class TestDaemon:
     def serve_in_thread(self, root, **options):

@@ -21,10 +21,12 @@ from repro.mc import MCConfig
 from repro.measure.specs import Spec, SpecSet
 from repro.process import C35
 from repro.workload import (BatchYieldWorkload, CornerSweepWorkload,
-                            LintWorkload, StreamingYieldWorkload,
-                            SurrogateTrainWorkload, design_digest,
-                            guarded_progress, lint_workload_from_source,
-                            ota_estimate_workload)
+                            LintWorkload, RareEventWorkload,
+                            StreamingYieldWorkload, SurrogateTrainWorkload,
+                            design_digest, guarded_progress,
+                            lint_workload_from_source,
+                            ota_estimate_workload, ota_rare_workload)
+from repro.yieldmodel import RareEventConfig
 
 DESIGN = {"w1": 3e-05, "l1": 1e-06, "w2": 6e-05, "l2": 1e-06,
           "w3": 1e-05, "l3": 2e-06, "w4": 2e-05, "l4": 2e-06}
@@ -176,6 +178,56 @@ class TestCacheRoundTrip:
         for name in fresh_arrays:
             np.testing.assert_array_equal(hit_arrays[name],
                                           fresh_arrays[name])
+
+    def test_rare_event_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        workload = RareEventWorkload(
+            metric_evaluator, C35, SPECS,
+            RareEventConfig(n_per_level=48, n_final=48, max_levels=3,
+                            chunk_lanes=16, include_mismatch=False))
+        fresh = workload.run_cached(cache)
+        hit = workload.run_cached(cache)
+        assert not fresh.cache_hit and hit.cache_hit
+        assert hit.value.p_fail == fresh.value.p_fail
+        assert hit.value.std_error == fresh.value.std_error
+        assert hit.value.effective_samples == fresh.value.effective_samples
+        np.testing.assert_array_equal(hit.value.shift_sigma,
+                                      fresh.value.shift_sigma)
+        assert hit.value.n_levels == fresh.value.n_levels
+        for rebuilt, original in zip(hit.value.levels, fresh.value.levels):
+            assert rebuilt.threshold == original.threshold
+            assert rebuilt.acceptance == original.acceptance
+            np.testing.assert_array_equal(rebuilt.shift_sigma,
+                                          original.shift_sigma)
+        # The human-readable ledger is part of the round trip too.
+        assert hit.value.describe() == fresh.value.describe()
+
+    def test_rare_event_fingerprint_semantics(self):
+        def rare(**overrides):
+            options = dict(n_per_level=64, n_final=64, seed=7,
+                           chunk_lanes=16)
+            options.update(overrides)
+            return ota_rare_workload(DESIGN, **options)
+
+        base = rare().fingerprint()
+        assert rare().fingerprint() == base
+        # Everything shaping the numbers invalidates...
+        assert rare(seed=8).fingerprint() != base
+        assert rare(n_per_level=65).fingerprint() != base
+        assert rare(level_quantile=0.3).fingerprint() != base
+        assert rare(chunk_lanes=32).fingerprint() != base
+        assert rare(specs=[["gain_db", "ge", 55.0, "dB"]]).fingerprint() \
+            != base
+        # ...while execution placement does not.
+        serial = RareEventWorkload(
+            metric_evaluator, C35, SPECS,
+            RareEventConfig(n_per_level=48, n_final=48,
+                            backend="serial"))
+        pooled = RareEventWorkload(
+            metric_evaluator, C35, SPECS,
+            RareEventConfig(n_per_level=48, n_final=48,
+                            backend="thread", workers=4))
+        assert serial.fingerprint() == pooled.fingerprint()
 
     def test_uncacheable_lint_always_runs(self, tmp_path, netlist):
         cache = ResultCache(tmp_path)
