@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -32,6 +33,13 @@ import numpy as np
 
 from ..errors import ReproError
 from .fingerprint import fingerprint_key
+
+
+def _telemetry():
+    # Late import: repro.telemetry's event sink builds on this module's
+    # atomic writers, so the dependency must stay one-way at import time.
+    from .. import telemetry
+    return telemetry
 
 __all__ = ["CachedResult", "CacheStats", "ResultCache",
            "atomic_write_bytes", "atomic_write_npz", "atomic_write_text"]
@@ -147,6 +155,14 @@ class ResultCache:
         disables the bound.
     max_entries:
         Optional entry-count bound, enforced the same way.
+
+    Thread safety: one instance may be shared across threads (the
+    :class:`repro.service.JobQueue` worker pool shares exactly one) --
+    lookups, stores, eviction and the stats counters are serialised by
+    an internal lock, so concurrent hits never lose counter increments
+    and eviction never races a store's LRU refresh.  Cross-*process*
+    safety comes from the atomic writers; only the in-memory counters
+    are per-instance.
     """
 
     def __init__(self, directory, *, max_bytes: int | None = DEFAULT_MAX_BYTES,
@@ -160,6 +176,7 @@ class ResultCache:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.stats = CacheStats()
+        self._lock = threading.RLock()
 
     # -- lookup -----------------------------------------------------------
     def get(self, fingerprint: str) -> CachedResult | None:
@@ -172,29 +189,33 @@ class ResultCache:
         """
         key = fingerprint_key(fingerprint)
         npz_path = self._npz(key)
-        try:
-            with np.load(npz_path) as data:
-                stored = bytes(data[_FINGERPRINT_KEY]).decode("utf-8")
-                if stored != fingerprint:
-                    raise ReproError("fingerprint mismatch")
-                arrays = {name: data[name].copy() for name in data.files
-                          if name != _FINGERPRINT_KEY}
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except Exception:
-            self._remove(key)
-            self.stats.misses += 1
-            return None
-        meta = {}
-        json_path = self._json(key)
-        try:
-            meta = json.loads(json_path.read_text()).get("meta", {})
-        except (OSError, ValueError):
-            pass  # arrays are intact; metadata is advisory
-        now = None  # default: current time
-        os.utime(npz_path, now)
-        self.stats.hits += 1
+        with self._lock:
+            try:
+                with np.load(npz_path) as data:
+                    stored = bytes(data[_FINGERPRINT_KEY]).decode("utf-8")
+                    if stored != fingerprint:
+                        raise ReproError("fingerprint mismatch")
+                    arrays = {name: data[name].copy() for name in data.files
+                              if name != _FINGERPRINT_KEY}
+            except FileNotFoundError:
+                self.stats.misses += 1
+                _telemetry().counter_add("cache.misses")
+                return None
+            except Exception:
+                self._remove(key)
+                self.stats.misses += 1
+                _telemetry().counter_add("cache.misses")
+                return None
+            meta = {}
+            json_path = self._json(key)
+            try:
+                meta = json.loads(json_path.read_text()).get("meta", {})
+            except (OSError, ValueError):
+                pass  # arrays are intact; metadata is advisory
+            now = None  # default: current time
+            os.utime(npz_path, now)
+            self.stats.hits += 1
+            _telemetry().counter_add("cache.hits")
         return CachedResult(fingerprint=fingerprint, key=key, meta=meta,
                             arrays=arrays)
 
@@ -220,12 +241,14 @@ class ResultCache:
         payload = {name: np.asarray(data) for name, data in arrays.items()}
         payload[_FINGERPRINT_KEY] = np.frombuffer(
             fingerprint.encode("utf-8"), dtype=np.uint8)
-        atomic_write_npz(self._npz(key), payload)
-        atomic_write_text(self._json(key), json.dumps(
-            {"fingerprint": fingerprint, "meta": meta}, indent=2,
-            sort_keys=True))
-        self.stats.stores += 1
-        self._evict(protect=key)
+        with self._lock:
+            atomic_write_npz(self._npz(key), payload)
+            atomic_write_text(self._json(key), json.dumps(
+                {"fingerprint": fingerprint, "meta": meta}, indent=2,
+                sort_keys=True))
+            self.stats.stores += 1
+            _telemetry().counter_add("cache.stores")
+            self._evict(protect=key)
         return CachedResult(fingerprint=fingerprint, key=key, meta=meta,
                             arrays=arrays)
 
@@ -244,9 +267,10 @@ class ResultCache:
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""
-        entries = self._entries()
-        for key, _, _ in entries:
-            self._remove(key)
+        with self._lock:
+            entries = self._entries()
+            for key, _, _ in entries:
+                self._remove(key)
         return len(entries)
 
     # -- internals --------------------------------------------------------
@@ -277,21 +301,29 @@ class ResultCache:
         return entries
 
     def _evict(self, protect: str | None = None) -> None:
-        """Drop LRU entries until both budgets hold (sparing ``protect``)."""
+        """Drop LRU entries until both budgets hold (sparing ``protect``).
+
+        Callers hold :attr:`_lock` (the public entry point is
+        :meth:`put`); taking it re-entrantly here keeps direct calls in
+        tests safe too.
+        """
         if self.max_bytes is None and self.max_entries is None:
             return
-        entries = self._entries()
-        total = sum(size for _, _, size in entries)
-        count = len(entries)
-        for key, _, size in entries:
-            over_bytes = self.max_bytes is not None and total > self.max_bytes
-            over_count = (self.max_entries is not None
-                          and count > self.max_entries)
-            if not (over_bytes or over_count):
-                break
-            if key == protect:
-                continue  # never evict the entry just stored
-            self._remove(key)
-            self.stats.evictions += 1
-            total -= size
-            count -= 1
+        with self._lock:
+            entries = self._entries()
+            total = sum(size for _, _, size in entries)
+            count = len(entries)
+            for key, _, size in entries:
+                over_bytes = (self.max_bytes is not None
+                              and total > self.max_bytes)
+                over_count = (self.max_entries is not None
+                              and count > self.max_entries)
+                if not (over_bytes or over_count):
+                    break
+                if key == protect:
+                    continue  # never evict the entry just stored
+                self._remove(key)
+                self.stats.evictions += 1
+                _telemetry().counter_add("cache.evictions")
+                total -= size
+                count -= 1

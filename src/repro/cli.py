@@ -14,7 +14,11 @@ Subcommands mirror the paper's experiments:
 * ``submit``  -- drop a JSON job request into a service root (optionally
   waiting for the result);
 * ``jobs``    -- list job statuses under a service root, cancel a job,
-  or stop the daemon.
+  or stop the daemon;
+* ``trace``   -- render a telemetry events file (``--telemetry`` /
+  ``REPRO_TELEMETRY``) as an indented span tree with per-stage
+  simulation counts;
+* ``stats``   -- ask a running daemon for a live metrics snapshot.
 
 Paper-scale runs take a couple of minutes; pass ``--reduced`` for a
 seconds-scale smoke run.
@@ -114,7 +118,8 @@ def _cmd_build(args) -> int:
             high_sigma=bool(high_sigma_budget),
             high_sigma_per_level=high_sigma_budget or 1000,
             high_sigma_final=2 * high_sigma_budget or 2000,
-            lint=args.lint)
+            lint=args.lint,
+            telemetry=args.telemetry)
         config.corner_grid(C35)  # fail fast on unknown corner names
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -158,7 +163,8 @@ def _cmd_filter(args) -> int:
         return 2
     model = rebuild_model(args.model_dir)
     config = FilterFlowConfig(seed=args.seed,
-                              verification_samples=args.samples)
+                              verification_samples=args.samples,
+                              telemetry=args.telemetry)
     result = run_filter_flow(model, config, progress=print)
     print()
     print(result.ledger.table())
@@ -259,6 +265,70 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import os
+    from pathlib import Path
+
+    from .telemetry import render_trace
+    # load_events treats a missing file as "no events" (it walks rotated
+    # generations that may not exist), so check the primary file here --
+    # a typo'd path should error, not print an empty tree.
+    if not Path(args.events).exists():
+        print(f"error: no such events file: {args.events}",
+              file=sys.stderr)
+        return 2
+    try:
+        print(render_trace(args.events))
+    except BrokenPipeError:
+        # Piped into `head`/`less` and the reader left -- exit quietly
+        # like cat(1); redirect stdout so the interpreter's exit flush
+        # does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from .service import request_stats
+    try:
+        payload = request_stats(args.root, timeout=args.timeout)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    cache = payload.get("cache", {})
+    print(f"cache: {cache.get('hits', 0)} hit(s), "
+          f"{cache.get('misses', 0)} miss(es), "
+          f"{cache.get('stores', 0)} store(s), "
+          f"{cache.get('evictions', 0)} eviction(s), "
+          f"{cache.get('entries', 0)} entrie(s), "
+          f"{cache.get('bytes', 0)} byte(s)")
+    jobs = payload.get("jobs", {})
+    print("jobs: " + ", ".join(f"{state} {count}"
+                               for state, count in sorted(jobs.items())))
+    metrics = payload.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        print("counters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name:<28} {value}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        print("gauges:")
+        for name, gauge in sorted(gauges.items()):
+            samples = gauge.get("samples", [])
+            print(f"  {name:<28} {gauge.get('value')} "
+                  f"({len(samples)} sample(s))")
+    return 0
+
+
 def _cmd_table1(_args) -> int:
     print(f"{'Design Parameter:':<24} Range:")
     for name, rng in OTA_DESIGN_SPACE.table1_rows():
@@ -352,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "ladder's escalation per search; the corner "
                             "floor always runs and counts against it "
                             "(default 0 = unlimited)")
+    build.add_argument("--telemetry", default="", metavar="EVENTS_JSONL",
+                       help="record tracing spans, metrics and progress "
+                            "events to this JSONL file (render with "
+                            "'repro-flow trace'; default: off)")
     build.set_defaults(func=_cmd_build)
 
     target = sub.add_parser("target", help="yield-target a specification")
@@ -367,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--seed", type=int, default=2008)
     filt.add_argument("--samples", type=int, default=500,
                       help="verification MC samples (default 500)")
+    filt.add_argument("--telemetry", default="", metavar="EVENTS_JSONL",
+                      help="record tracing spans, metrics and progress "
+                           "events to this JSONL file (render with "
+                           "'repro-flow trace'; default: off)")
     filt.set_defaults(func=_cmd_filter)
 
     lint = sub.add_parser(
@@ -427,6 +505,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ask the daemon to exit")
     jobs.set_defaults(func=_cmd_jobs)
 
+    trace = sub.add_parser(
+        "trace", help="render a telemetry events file as a span tree",
+        description="Rebuild the hierarchical span tree from a telemetry "
+                    "events JSONL file (written via --telemetry or "
+                    "REPRO_TELEMETRY) and print it with cumulative/self "
+                    "wall time and per-stage simulation counts, followed "
+                    "by the run's simulation ledger.")
+    trace.add_argument("events", help="telemetry events JSONL file")
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="fetch a live metrics snapshot from a daemon",
+        description="Ask the daemon serving <root> for its metrics "
+                    "registry snapshot (counters, gauges with timestamped "
+                    "samples, histograms), live cache figures and job "
+                    "counts, over the same file-spool protocol the other "
+                    "service verbs use.")
+    stats.add_argument("root", help="service root directory")
+    stats.add_argument("--timeout", type=float, default=10.0,
+                       help="seconds to wait for the daemon's response "
+                            "(default 10)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw JSON payload")
+    stats.set_defaults(func=_cmd_stats)
+
     table1 = sub.add_parser("table1", help="print the Table-1 design space")
     table1.set_defaults(func=_cmd_table1)
     return parser
@@ -436,7 +539,13 @@ def main(argv=None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        # Library errors are diagnoses, not crashes: an unreachable
+        # specification in `target`, say, reads as one error line.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,7 @@ import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
+from .. import telemetry
 from ..errors import ReproError
 
 __all__ = [
@@ -98,7 +99,11 @@ class SerialBackend:
 
     def run(self, fn: Callable, tasks: Sequence,
             progress: ProgressFn | None = None) -> list:
-        return _run_serial(fn, list(tasks), progress)
+        tasks = list(tasks)
+        with telemetry.span("exec.run", backend=self.name, workers=1,
+                            tasks=len(tasks)):
+            telemetry.counter_add("exec.tasks", len(tasks))
+            return _run_serial(telemetry.bind_task(fn), tasks, progress)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialBackend()"
@@ -126,22 +131,29 @@ class ThreadBackend:
         tasks = list(tasks)
         total = len(tasks)
         workers = min(self.workers, total)
-        if workers <= 1 or total <= 1:
-            return _run_serial(fn, tasks, progress)
-        results: list = [None] * total
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(fn, task): index
-                       for index, task in enumerate(tasks)}
-            done_count = 0
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = pending.pop(future)
-                    results[index] = future.result()
-                    done_count += 1
-                    if progress is not None:
-                        progress(done_count, total, index)
-        return results
+        with telemetry.span("exec.run", backend=self.name, workers=workers,
+                            tasks=total):
+            telemetry.counter_add("exec.tasks", total)
+            # Captured *here*, inside the exec.run span: pool threads run
+            # tasks in an empty contextvar context, so without this bind
+            # every chunk span would become a parentless root.
+            fn = telemetry.bind_task(fn)
+            if workers <= 1 or total <= 1:
+                return _run_serial(fn, tasks, progress)
+            results: list = [None] * total
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                pending = {pool.submit(fn, task): index
+                           for index, task in enumerate(tasks)}
+                done_count = 0
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index = pending.pop(future)
+                        results[index] = future.result()
+                        done_count += 1
+                        if progress is not None:
+                            progress(done_count, total, index)
+            return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadBackend(workers={self.workers})"
@@ -189,34 +201,42 @@ class ProcessBackend:
         tasks = list(tasks)
         total = len(tasks)
         workers = min(self.workers, total)
-        if workers <= 1 or total <= 1:
-            return _run_serial(fn, tasks, progress)
         if "fork" not in multiprocessing.get_all_start_methods():
             return ThreadBackend(workers).run(fn, tasks, progress)
-        if _FORK_PAYLOAD is not None and os.getpid() != _FORK_OWNER:
-            # Nested parallel region: this process is itself a forked
-            # worker (it inherited another pool's payload), so run the
-            # inner level serially rather than oversubscribing.  A
-            # sibling pool in the same process instead queues on the
-            # lock below and keeps its parallelism.
-            return _run_serial(fn, tasks, progress)
-        context = multiprocessing.get_context("fork")
-        results: list = [None] * total
-        with _FORK_LOCK:
-            _FORK_OWNER = os.getpid()
-            _FORK_PAYLOAD = (fn, tasks)
-            try:
-                with context.Pool(processes=workers) as pool:
-                    done_count = 0
-                    for index, value in pool.imap_unordered(
-                            _invoke_inherited, range(total)):
-                        results[index] = value
-                        done_count += 1
-                        if progress is not None:
-                            progress(done_count, total, index)
-            finally:
-                _FORK_PAYLOAD = None
-        return results
+        with telemetry.span("exec.run", backend=self.name, workers=workers,
+                            tasks=total):
+            telemetry.counter_add("exec.tasks", total)
+            # The bound callable carries a serialisable SpanContext into
+            # the forked workers (closures cross the fork as inherited
+            # memory), so child-side chunk spans re-parent onto this
+            # exec.run span across the process boundary.
+            fn = telemetry.bind_task(fn)
+            if workers <= 1 or total <= 1:
+                return _run_serial(fn, tasks, progress)
+            if _FORK_PAYLOAD is not None and os.getpid() != _FORK_OWNER:
+                # Nested parallel region: this process is itself a forked
+                # worker (it inherited another pool's payload), so run the
+                # inner level serially rather than oversubscribing.  A
+                # sibling pool in the same process instead queues on the
+                # lock below and keeps its parallelism.
+                return _run_serial(fn, tasks, progress)
+            context = multiprocessing.get_context("fork")
+            results: list = [None] * total
+            with _FORK_LOCK:
+                _FORK_OWNER = os.getpid()
+                _FORK_PAYLOAD = (fn, tasks)
+                try:
+                    with context.Pool(processes=workers) as pool:
+                        done_count = 0
+                        for index, value in pool.imap_unordered(
+                                _invoke_inherited, range(total)):
+                            results[index] = value
+                            done_count += 1
+                            if progress is not None:
+                                progress(done_count, total, index)
+                finally:
+                    _FORK_PAYLOAD = None
+            return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(workers={self.workers})"

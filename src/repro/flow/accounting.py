@@ -14,6 +14,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from .. import telemetry
+
 __all__ = ["StageRecord", "SimulationLedger"]
 
 
@@ -52,7 +54,8 @@ class SimulationLedger:
         """
         start = time.perf_counter()
         try:
-            yield
+            with telemetry.span("flow.stage", stage=stage):
+                yield
         finally:
             self.record(stage, simulations, time.perf_counter() - start)
 

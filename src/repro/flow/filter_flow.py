@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..designs.filter2 import (FilterCaps, FilterSpec,
                                build_filter_behavioral,
                                build_filter_transistor, evaluate_filter)
@@ -68,6 +69,9 @@ class FilterFlowConfig:
     #: :class:`~repro.errors.LintGateError`, ``"warn"`` only reports,
     #: ``"off"`` skips the checks.
     lint: str = "strict"
+    #: Telemetry events file (JSONL) of this run; "" leaves telemetry in
+    #: its ambient state.  Never part of any workload fingerprint.
+    telemetry: str = ""
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.individuals,
@@ -180,9 +184,21 @@ def run_filter_flow(model: CombinedYieldModel,
         capacitor choice satisfies the filter mask.
     """
     config = config or FilterFlowConfig()
+    with telemetry.session(config.telemetry or None):
+        with telemetry.span("flow.filter", individuals=config.individuals,
+                            generations=config.generations,
+                            seed=config.seed):
+            result = _filter_flow(model, config, pdk=pdk, progress=progress)
+        telemetry.emit_ledger(result.ledger)
+    return result
+
+
+def _filter_flow(model: CombinedYieldModel, config: FilterFlowConfig, *,
+                 pdk: ProcessKit, progress) -> FilterFlowResult:
+    """The flow body, run inside the telemetry session + root span."""
     spec = config.spec
     ledger = SimulationLedger()
-    say = progress or (lambda message: None)
+    say = telemetry.announcer(progress)
 
     # Step 1: yield-targeted OTA selection (pure table interpolation).
     with ledger.timed("ota selection (behavioural)"):

@@ -60,6 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (avoids a cycle:
     from ..mc.streaming import StreamingResult
     from ..optimize import YieldSearchConfig, YieldSearchResult
 
+from .. import telemetry
 from ..corners import CornerGrid, CornerVerification
 from ..designs.filter2 import DEFAULT_FILTER_SPEC
 from ..designs.ota import (OTA_DESIGN_SPACE, OTAParameters, build_ota,
@@ -178,6 +179,11 @@ class FlowConfig:
     #: stage-2 WBGA: every candidate pays an in-loop yield estimate).
     yield_generations: int = 12
     yield_population: int = 16
+    #: Telemetry events file (JSONL) of this run; "" leaves telemetry in
+    #: its ambient state (off, or whatever ``REPRO_TELEMETRY`` enabled).
+    #: Never part of any workload fingerprint -- telemetry observes the
+    #: computation, it does not shape it.
+    telemetry: str = ""
 
     def ga_config(self) -> GAConfig:
         return GAConfig(population_size=self.population,
@@ -381,8 +387,20 @@ def run_model_build_flow(config: FlowConfig | None = None, *,
         degenerate configuration with too few evaluations).
     """
     config = config or FlowConfig()
+    with telemetry.session(config.telemetry or None):
+        with telemetry.span("flow.build", generations=config.generations,
+                            population=config.population,
+                            mc_samples=config.mc_samples, seed=config.seed):
+            result = _model_build_flow(config, pdk=pdk, progress=progress)
+        telemetry.emit_ledger(result.ledger)
+    return result
+
+
+def _model_build_flow(config: FlowConfig, *, pdk: ProcessKit,
+                      progress) -> FlowResult:
+    """The flow body, run inside the telemetry session + root span."""
     ledger = SimulationLedger()
-    say = progress or (lambda message: None)
+    say = telemetry.announcer(progress)
 
     # Stage 0: pre-flight topology lint of the testbench, before any
     # simulation budget is spent on it.

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ReproError
 from ..exec import Backend, resolve_backend
 from ..process.pdk import ProcessKit
@@ -151,12 +152,14 @@ def _single_chunk_runner(evaluator, pdk: ProcessKit, config: MCConfig):
 
     def run_chunk(task):
         start, stop, rng = task
-        sample = pdk.sample(stop - start, rng,
-                            include_global=config.include_global,
-                            include_mismatch=config.include_mismatch)
-        performance = evaluator(sample)
-        return {name: np.asarray(values, dtype=float).reshape(-1)
-                for name, values in performance.items()}
+        with telemetry.span("mc.chunk", lanes=stop - start, start=start):
+            telemetry.counter_add("mc.lanes", stop - start)
+            sample = pdk.sample(stop - start, rng,
+                                include_global=config.include_global,
+                                include_mismatch=config.include_mismatch)
+            performance = evaluator(sample)
+            return {name: np.asarray(values, dtype=float).reshape(-1)
+                    for name, values in performance.items()}
 
     return run_chunk
 
@@ -210,7 +213,8 @@ def monte_carlo(evaluator, pdk: ProcessKit,
     bounds = _plan_single_chunks(config)
     run_chunk = _single_chunk_runner(evaluator, pdk, config)
     backend = resolve_backend(config.backend, config.workers)
-    parts = _run_chunks(backend, run_chunk, bounds, progress, total)
+    with telemetry.span("mc.single", samples=total, chunks=len(bounds)):
+        parts = _run_chunks(backend, run_chunk, bounds, progress, total)
     return {name: np.concatenate([part[name] for part in parts])
             for name in parts[0]}
 
@@ -255,16 +259,21 @@ def monte_carlo_points(evaluator, n_points: int, pdk: ProcessKit,
     def run_chunk(task):
         start, stop, rng = task
         indices = np.arange(start, stop)
-        die_sample = pdk.sample(indices.size * samples, rng,
-                                include_global=config.include_global,
-                                include_mismatch=config.include_mismatch)
-        performance = evaluator(indices, samples, die_sample)
-        return {name: np.asarray(values, dtype=float).reshape(
-                    indices.size, samples)
-                for name, values in performance.items()}
+        with telemetry.span("mc.chunk", lanes=indices.size * samples,
+                            points=int(indices.size), start=start):
+            telemetry.counter_add("mc.lanes", indices.size * samples)
+            die_sample = pdk.sample(indices.size * samples, rng,
+                                    include_global=config.include_global,
+                                    include_mismatch=config.include_mismatch)
+            performance = evaluator(indices, samples, die_sample)
+            return {name: np.asarray(values, dtype=float).reshape(
+                        indices.size, samples)
+                    for name, values in performance.items()}
 
     backend = resolve_backend(config.backend, config.workers)
-    parts = _run_chunks(backend, run_chunk, bounds, progress, n_points)
+    with telemetry.span("mc.points", points=n_points, samples=samples,
+                        stage=stage, chunks=len(bounds)):
+        parts = _run_chunks(backend, run_chunk, bounds, progress, n_points)
     if not parts:
         return {}
     return {name: np.concatenate([part[name] for part in parts], axis=0)

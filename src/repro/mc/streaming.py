@@ -43,6 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import telemetry
 from ..cache import atomic_write_npz, canonical_fingerprint
 from ..errors import ReproError
 from ..exec import resolve_backend
@@ -860,38 +861,46 @@ def monte_carlo_streaming(evaluator, pdk: ProcessKit,
         stopped_early = True  # a resumed run that was already settled
 
     chunks_this_call = 0
-    while cursor < len(bounds) and not stopped_early:
-        if max_chunks is not None and chunks_this_call >= max_chunks:
-            interrupted = True
-            break
-        # Run to the next round boundary (re-aligning after a mid-round
-        # interruption), clipped by this invocation's chunk budget.
-        take = round_size - cursor % round_size
-        if max_chunks is not None:
-            take = min(take, max_chunks - chunks_this_call)
-        tasks = bounds[cursor:cursor + take]
-        parts = backend.run(run_chunk, tasks)
-        # Fold in task-submission order: deterministic on every backend.
-        for part in parts:
-            for name, values in part.items():
-                if name not in accumulators:
-                    accumulators[name] = StreamingAccumulator(
-                        sketch_capacity)
-                accumulators[name].update(values)
-            if counter is not None:
-                counter.update(part)
-        cursor += len(tasks)
-        chunks_this_call += len(tasks)
-        if checkpoint_path is not None:
-            _write_checkpoint(checkpoint_path, fingerprint, cursor,
-                              accumulators, counter)
-        if progress is not None:
-            progress(samples_done(), config.n_samples)
-        if adaptive is not None and at_check_boundary() and \
-                samples_done() >= adaptive.min_samples:
-            width = _ci_width_now(adaptive, accumulators, counter)
-            if width <= adaptive.ci_width:
-                stopped_early = True
+    with telemetry.span("mc.stream", stage=stage, cap=config.n_samples,
+                        resumed=resumed_cursor) as stream_span:
+        while cursor < len(bounds) and not stopped_early:
+            if max_chunks is not None and chunks_this_call >= max_chunks:
+                interrupted = True
+                break
+            # Run to the next round boundary (re-aligning after a
+            # mid-round interruption), clipped by this invocation's
+            # chunk budget.
+            take = round_size - cursor % round_size
+            if max_chunks is not None:
+                take = min(take, max_chunks - chunks_this_call)
+            tasks = bounds[cursor:cursor + take]
+            telemetry.counter_add("mc.stream.rounds")
+            parts = backend.run(run_chunk, tasks)
+            # Fold in task-submission order: deterministic on every
+            # backend.
+            for part in parts:
+                for name, values in part.items():
+                    if name not in accumulators:
+                        accumulators[name] = StreamingAccumulator(
+                            sketch_capacity)
+                    accumulators[name].update(values)
+                if counter is not None:
+                    counter.update(part)
+            cursor += len(tasks)
+            chunks_this_call += len(tasks)
+            if checkpoint_path is not None:
+                _write_checkpoint(checkpoint_path, fingerprint, cursor,
+                                  accumulators, counter)
+            if progress is not None:
+                progress(samples_done(), config.n_samples)
+            if adaptive is not None and at_check_boundary() and \
+                    samples_done() >= adaptive.min_samples:
+                width = _ci_width_now(adaptive, accumulators, counter)
+                if width <= adaptive.ci_width:
+                    stopped_early = True
+        stream_span.set(samples=samples_done(), chunks=cursor,
+                        stopped_early=stopped_early,
+                        interrupted=interrupted)
 
     return StreamingResult(
         config=config,

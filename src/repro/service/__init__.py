@@ -21,8 +21,8 @@ users; this package is the serving layer over the workload abstraction
 See ``docs/service.md`` for the job lifecycle and operational knobs.
 """
 
-from .daemon import (job_statuses, read_status, request_cancel, request_stop,
-                     serve, submit_request)
+from .daemon import (job_statuses, read_status, request_cancel, request_stats,
+                     request_stop, serve, submit_request)
 from .queue import JOB_STATES, Job, JobQueue
 from .requests import REQUEST_KINDS, workload_from_request
 
@@ -30,5 +30,5 @@ __all__ = [
     "Job", "JobQueue", "JOB_STATES",
     "workload_from_request", "REQUEST_KINDS",
     "serve", "submit_request", "job_statuses", "read_status",
-    "request_cancel", "request_stop",
+    "request_cancel", "request_stats", "request_stop",
 ]

@@ -10,13 +10,16 @@ cache layer's temp-file + rename writers):
       queue/<id>.json    requests awaiting pickup (written by clients)
       jobs/<id>.json     status snapshots (written by the daemon)
       cancel/<id>        cancellation markers (written by clients)
+      stats/<n>.request  metrics-snapshot requests (written by clients)
+      stats/<n>.json     metrics-snapshot responses (written by the daemon)
       stop               shutdown sentinel (written by clients)
       cache/             the content-addressed result cache
       checkpoints/       per-job resumable state
 
 Clients (:func:`submit_request`, :func:`job_statuses`,
-:func:`request_cancel`, :func:`request_stop` -- or the ``repro submit``
-/ ``repro jobs`` CLI verbs) only ever touch ``queue/``, ``cancel/`` and
+:func:`request_cancel`, :func:`request_stats`, :func:`request_stop` --
+or the ``repro submit`` / ``repro jobs`` / ``repro stats`` CLI verbs)
+only ever touch ``queue/``, ``cancel/``, ``stats/*.request`` and
 ``stop``; the daemon owns ``jobs/`` and consumes the rest.  A request's
 results live in the cache under the workload's content-address (the
 ``key`` field of its status), so resubmitting the same request -- even
@@ -30,25 +33,30 @@ import time
 import uuid
 from pathlib import Path
 
+from .. import telemetry
 from ..cache import ResultCache, atomic_write_text
 from ..errors import WorkloadError
 from .queue import JobQueue
 from .requests import workload_from_request
 
 __all__ = ["serve", "submit_request", "job_statuses", "read_status",
-           "request_cancel", "request_stop"]
+           "request_cancel", "request_stats", "request_stop"]
+
+#: How often [s] the daemon samples the cache-size gauges while serving.
+STATS_SAMPLE_INTERVAL = 1.0
 
 
 def _dirs(root) -> dict[str, Path]:
     root = Path(root)
     return {"root": root, "queue": root / "queue", "jobs": root / "jobs",
             "cancel": root / "cancel", "cache": root / "cache",
-            "checkpoints": root / "checkpoints", "stop": root / "stop"}
+            "checkpoints": root / "checkpoints", "stats": root / "stats",
+            "stop": root / "stop"}
 
 
 def _ensure_layout(root) -> dict[str, Path]:
     layout = _dirs(root)
-    for name in ("queue", "jobs", "cancel"):
+    for name in ("queue", "jobs", "cancel", "stats"):
         layout[name].mkdir(parents=True, exist_ok=True)
     return layout
 
@@ -114,9 +122,60 @@ def request_stop(root) -> None:
     _dirs(root)["stop"].touch()
 
 
+def request_stats(root, *, timeout: float = 10.0,
+                  poll: float = 0.05) -> dict:
+    """Ask a running daemon for a metrics snapshot (blocking).
+
+    Drops a ``stats/<nonce>.request`` marker; the daemon answers with an
+    atomically-written ``stats/<nonce>.json`` carrying its metrics
+    registry snapshot (counters, gauges with timestamped samples,
+    histograms), live cache figures and per-state job counts.
+
+    Raises
+    ------
+    WorkloadError
+        No response within ``timeout`` seconds (daemon not running, or
+        stalled).
+    """
+    layout = _ensure_layout(root)
+    nonce = uuid.uuid4().hex[:12]
+    response = layout["stats"] / f"{nonce}.json"
+    (layout["stats"] / f"{nonce}.request").touch()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            payload = json.loads(response.read_text())
+        except (FileNotFoundError, ValueError):
+            time.sleep(poll)
+            continue
+        response.unlink(missing_ok=True)
+        return payload
+    raise WorkloadError(
+        f"no stats response from {layout['root']} within {timeout:g}s "
+        "(is the daemon running?)")
+
+
 # -- daemon side ----------------------------------------------------------
+def _stats_payload(cache: ResultCache, jobs: JobQueue) -> dict:
+    """The daemon's answer to one stats request."""
+    return {
+        "t": time.time(),
+        "metrics": telemetry.snapshot(),
+        "cache": {
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "stores": cache.stats.stores,
+            "evictions": cache.stats.evictions,
+            "bytes": cache.total_bytes(),
+            "entries": len(cache),
+        },
+        "jobs": jobs.counts(),
+    }
+
+
 def serve(root, *, workers: int = 2, poll: float = 0.05,
           idle_exit: float | None = None, max_bytes: int | None = None,
+          sample_every: float = STATS_SAMPLE_INTERVAL,
           progress=None) -> int:
     """Run the service daemon over ``root`` until stopped.
 
@@ -131,6 +190,10 @@ def serve(root, *, workers: int = 2, poll: float = 0.05,
         (``None`` = run until the ``stop`` sentinel appears).
     max_bytes:
         Byte budget of the result cache (``None`` = the cache default).
+    sample_every:
+        Interval [s] between cache-size gauge samples
+        (``cache.bytes`` / ``cache.entries`` in the metrics registry --
+        what :func:`request_stats` reports as timestamped history).
     progress:
         Optional ``callable(str)`` for lifecycle announcements.
 
@@ -138,12 +201,13 @@ def serve(root, *, workers: int = 2, poll: float = 0.05,
     consumed on exit so the next ``serve`` starts clean.
     """
     layout = _ensure_layout(root)
-    say = progress or (lambda message: None)
+    say = telemetry.announcer(progress)
     cache = ResultCache(layout["cache"], **(
         {"max_bytes": max_bytes} if max_bytes is not None else {}))
     processed = 0
     active: dict[str, object] = {}
     last_activity = time.monotonic()
+    last_sample = float("-inf")
     say(f"serving {layout['root']} ({workers} worker(s))")
     with JobQueue(workers=workers, cache=cache,
                   checkpoint_dir=layout["checkpoints"]) as jobs:
@@ -151,6 +215,21 @@ def serve(root, *, workers: int = 2, poll: float = 0.05,
             if layout["stop"].exists():
                 say("stop requested")
                 break
+
+            # Sample the cache-size gauges on a fixed cadence, so the
+            # registry carries a timestamped history (``repro stats``).
+            if time.monotonic() - last_sample >= sample_every:
+                telemetry.gauge_set("cache.bytes", cache.total_bytes())
+                telemetry.gauge_set("cache.entries", len(cache))
+                last_sample = time.monotonic()
+
+            # Answer metrics-snapshot requests.
+            for marker in layout["stats"].glob("*.request"):
+                atomic_write_text(
+                    marker.with_suffix(".json"),
+                    json.dumps(_stats_payload(cache, jobs), indent=2,
+                               sort_keys=True))
+                marker.unlink(missing_ok=True)
 
             # Pick up new requests.
             for path in sorted(layout["queue"].glob("*.json")):

@@ -23,6 +23,7 @@ import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import telemetry
 from ..errors import JobCancelled, WorkloadError
 from ..workload import WorkloadResult
 
@@ -251,17 +252,19 @@ class JobQueue:
                     if leader is None:
                         self._inflight[key] = job
             try:
-                if leader is not None:
-                    while not leader._done.wait(0.05):
-                        if job.cancel_requested:
-                            raise JobCancelled(job_id=job.id)
-                kwargs = {"checkpoint": self._checkpoint_for(job),
-                          "progress": progress,
-                          "cancel": job._cancel.is_set}
-                if self.cache is not None:
-                    result = workload.run_cached(self.cache, **kwargs)
-                else:
-                    result = workload.run(**kwargs)
+                with telemetry.span("job.run", id=job.id,
+                                    kind=workload.kind):
+                    if leader is not None:
+                        while not leader._done.wait(0.05):
+                            if job.cancel_requested:
+                                raise JobCancelled(job_id=job.id)
+                    kwargs = {"checkpoint": self._checkpoint_for(job),
+                              "progress": progress,
+                              "cancel": job._cancel.is_set}
+                    if self.cache is not None:
+                        result = workload.run_cached(self.cache, **kwargs)
+                    else:
+                        result = workload.run(**kwargs)
                 job.result = result
                 job.cache_hit = result.cache_hit
                 self._finish(job, "done")
@@ -278,4 +281,5 @@ class JobQueue:
     def _finish(self, job: Job, state: str) -> None:
         job.state = state
         job.finished = time.monotonic()
+        telemetry.counter_add(f"jobs.{state}")
         job._done.set()

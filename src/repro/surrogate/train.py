@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import SurrogateError
 from ..exec import resolve_backend
 from ..mc.sampler import child_streams, latin_hypercube_normal, stream
@@ -88,7 +89,10 @@ def evaluate_sigma_batch(evaluator, pdk: ProcessKit, x: np.ndarray, *,
         return {name: np.asarray(values, dtype=float).reshape(-1)
                 for name, values in performance.items()}
 
-    parts = resolve_backend(backend, workers).run(run_chunk, bounds)
+    with telemetry.span("surrogate.batch", stage=stage, samples=total,
+                        chunks=len(bounds)):
+        telemetry.counter_add("surrogate.evaluations", total)
+        parts = resolve_backend(backend, workers).run(run_chunk, bounds)
     return {name: np.concatenate([part[name] for part in parts])
             for name in parts[0]}
 
@@ -220,15 +224,16 @@ def train_surrogates(evaluator, pdk: ProcessKit, *, n_train: int = 96,
     if kind not in SURROGATE_KINDS:
         raise SurrogateError(f"unknown surrogate kind {kind!r} "
                              f"(known: {', '.join(SURROGATE_KINDS)})")
-    x = latin_hypercube_normal(stream(seed, "surrogate-lhs"), n_train,
-                               len(GLOBAL_DIMS))
-    y = evaluate_sigma_batch(evaluator, pdk, x, seed=seed,
-                             stage="surrogate-train",
-                             include_mismatch=include_mismatch,
-                             backend=backend, workers=workers,
-                             chunk_lanes=chunk_lanes)
-    models = {name: fit_surrogate(kind, x, values)
-              for name, values in y.items()}
+    with telemetry.span("surrogate.train", n_train=n_train, kind=kind):
+        x = latin_hypercube_normal(stream(seed, "surrogate-lhs"), n_train,
+                                   len(GLOBAL_DIMS))
+        y = evaluate_sigma_batch(evaluator, pdk, x, seed=seed,
+                                 stage="surrogate-train",
+                                 include_mismatch=include_mismatch,
+                                 backend=backend, workers=workers,
+                                 chunk_lanes=chunk_lanes)
+        models = {name: fit_surrogate(kind, x, values)
+                  for name, values in y.items()}
     return SurrogateBundle(models, kind, x, y, pdk.name)
 
 

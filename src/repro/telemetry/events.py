@@ -1,0 +1,106 @@
+"""The JSONL event sink: crash-safe, size-capped, fork-tolerant.
+
+Events are written as one JSON object per line, each line landing in a
+single ``O_APPEND`` ``write`` -- the same "a reader never sees a torn
+record" stance as the cache layer's atomic writers
+(:mod:`repro.cache.store`), which this module reuses directly for file
+initialisation; rotation uses the identical ``os.replace`` primitive.
+A crash mid-run therefore loses at most the final partial line, and
+:func:`load_events` skips malformed lines instead of failing.
+
+Fork behaviour: a forked worker (the process backend) inherits the open
+sink object.  Because every emit is a self-contained append to the same
+path, parent and children interleave whole lines without coordination
+-- no buffers to duplicate, no flushing protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from ..cache.store import atomic_write_text
+
+__all__ = ["EventSink", "load_events", "DEFAULT_MAX_BYTES"]
+
+#: Default rotation threshold of one events file (16 MiB).
+DEFAULT_MAX_BYTES = 16 << 20
+
+
+class EventSink:
+    """Append JSON events to a ``.jsonl`` file, rotating by size.
+
+    Parameters
+    ----------
+    path:
+        The events file.  ``fresh=True`` (the default) truncates it
+        atomically, so one run's trace is one file's content.
+    max_bytes:
+        Rotate (``os.replace`` the live file to ``<path>.1``) once it
+        exceeds this size; ``None`` disables rotation.
+    """
+
+    def __init__(self, path, *, max_bytes: int | None = DEFAULT_MAX_BYTES,
+                 fresh: bool = True) -> None:
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        if self.path.parent and not self.path.parent.is_dir():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh:
+            atomic_write_text(self.path, "")
+        self._approx_bytes = (self.path.stat().st_size
+                              if self.path.exists() else 0)
+
+    def emit(self, event: dict) -> None:
+        """Append one event (a JSON-serialisable mapping) as one line."""
+        line = (json.dumps(event, separators=(",", ":"), sort_keys=True)
+                + "\n").encode("utf-8")
+        with self._lock:
+            if (self.max_bytes is not None
+                    and self._approx_bytes + len(line) > self.max_bytes):
+                self._rotate()
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+            self._approx_bytes += len(line)
+
+    def _rotate(self) -> None:
+        # Same atomic primitive as the cache writers: the rotated file
+        # appears whole under its new name, the live path starts empty.
+        if self.path.exists():
+            os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        self._approx_bytes = 0
+
+    def close(self) -> None:
+        """No-op (every emit is already durable); kept for symmetry."""
+
+
+def load_events(path) -> list[dict]:
+    """Parse a JSONL events file, skipping malformed (torn) lines.
+
+    A missing file reads as no events -- renderers walk rotated
+    generations (``<path>.1``) that may not exist.
+    """
+    events = []
+    try:
+        handle = open(path, encoding="utf-8", errors="replace")
+    except FileNotFoundError:
+        return events
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn final line of a crashed run
+            if isinstance(event, dict):
+                events.append(event)
+    return events

@@ -1,0 +1,161 @@
+"""Hierarchical tracing spans over :mod:`contextvars`.
+
+A span is a timed region with a name, attached attributes, and a parent
+link.  The *current* span lives in a :class:`contextvars.ContextVar`, so
+``with span("flow.stage"): with span("mc.chunk"): ...`` nests correctly
+in straight-line code and in any asynchronous context that copies the
+contextvar context.
+
+Two execution models need explicit help:
+
+* **Thread pools** -- :class:`concurrent.futures.ThreadPoolExecutor`
+  runs callables in the *worker's* (empty) context, so a chunk span
+  opened inside a pool task would become a root.  The backends wrap the
+  task callable via :func:`repro.telemetry.bind_task`, which captures
+  the submitting context's :class:`SpanContext` and re-attaches it
+  around every invocation.
+* **Forked processes** -- a forked worker inherits the parent's memory
+  (including the contextvar), but its span *events* must still link to
+  the parent's ids across the process boundary.  :class:`SpanContext`
+  is a plain serialisable pair ``(trace_id, span_id)``: the same
+  ``bind_task`` wrapper carries it through the fork, and the child's
+  spans re-parent onto it exactly as a thread's would.
+
+Span open/close events are emitted through a callable handed to the
+:class:`Tracer` (the JSONL sink when telemetry is enabled), never
+buffered in the tracer itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, NamedTuple
+
+__all__ = ["Span", "SpanContext", "Tracer", "NULL_SPAN"]
+
+#: The ambient span context of the calling code path.
+_CURRENT: ContextVar["SpanContext | None"] = ContextVar(
+    "repro-telemetry-span", default=None)
+
+#: Per-process span-id counter (combined with the pid for uniqueness
+#: across forked workers).
+_ids = itertools.count(1)
+
+
+class SpanContext(NamedTuple):
+    """Serializable identity of a span: what children parent onto.
+
+    A plain tuple of strings, so it crosses pickle/fork/JSON boundaries
+    without carrying any live tracer state.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+class Span:
+    """One open traced region (also its own context manager)."""
+
+    __slots__ = ("name", "context", "parent_id", "attributes",
+                 "_tracer", "_token", "_start", "_wall")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict) -> None:
+        parent = _CURRENT.get()
+        span_id = _new_span_id()
+        self.name = name
+        self.context = SpanContext(
+            parent.trace_id if parent is not None else span_id, span_id)
+        self.parent_id = parent.span_id if parent is not None else None
+        self.attributes = attributes
+        self._tracer = tracer
+        self._token = None
+        self._start = 0.0
+        self._wall = 0.0
+
+    def set(self, **attributes) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self.context)
+        self._wall = time.time()
+        self._start = time.monotonic()
+        self._tracer.emit({
+            "type": "span_open", "t": self._wall, "name": self.name,
+            "span": self.context.span_id, "trace": self.context.trace_id,
+            "parent": self.parent_id, "pid": os.getpid(),
+            "attrs": dict(self.attributes)})
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.monotonic() - self._start
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        self._tracer.emit({
+            "type": "span_close", "t": time.time(), "name": self.name,
+            "span": self.context.span_id, "trace": self.context.trace_id,
+            "elapsed": elapsed,
+            "status": "error" if exc_type is not None else "ok",
+            "attrs": dict(self.attributes)})
+
+
+class _NullSpan:
+    """The disabled-path span: one shared, allocation-free no-op.
+
+    ``telemetry.span(...)`` returns this singleton whenever telemetry is
+    off, so the instrumented hot paths pay only a flag check and a
+    (kwargs) dict that the interpreter builds anyway.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The shared no-op span (identity-comparable in tests).
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory of spans wired to one event-emitting callable."""
+
+    def __init__(self, emit: Callable[[dict], None]) -> None:
+        self.emit = emit
+
+    def span(self, name: str, attributes: dict | None = None) -> Span:
+        return Span(self, name, dict(attributes or {}))
+
+    def current_context(self) -> SpanContext | None:
+        """The ambient span context (``None`` outside any span)."""
+        return _CURRENT.get()
+
+    @contextmanager
+    def attach(self, context: SpanContext):
+        """Re-parent subsequent spans onto a handed-over context.
+
+        Used by :func:`repro.telemetry.bind_task` to carry the
+        submitting span across thread-pool and forked-process
+        boundaries.
+        """
+        token = _CURRENT.set(context)
+        try:
+            yield
+        finally:
+            _CURRENT.reset(token)

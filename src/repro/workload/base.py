@@ -8,6 +8,7 @@ from typing import ClassVar
 
 import numpy as np
 
+from .. import telemetry
 from ..cache import canonical_fingerprint, fingerprint_key
 from ..errors import JobCancelled
 
@@ -134,8 +135,14 @@ class Workload(ABC):
             true.  Checkpoints written before the boundary survive, so
             cancelled jobs resume rather than restart.
         """
-        return self._execute(checkpoint=checkpoint,
-                             progress=guarded_progress(progress, cancel))
+        attrs = {"kind": self.kind}
+        if telemetry.enabled():
+            # key() hashes the canonical fingerprint -- only pay for it
+            # when a sink is actually recording.
+            attrs["key"] = self.key()
+        with telemetry.span(f"workload.{self.kind or 'anonymous'}", **attrs):
+            return self._execute(checkpoint=checkpoint,
+                                 progress=guarded_progress(progress, cancel))
 
     @abstractmethod
     def _execute(self, *, checkpoint, progress) -> WorkloadResult:
@@ -154,11 +161,15 @@ class Workload(ABC):
         fingerprint = self.fingerprint()
         hit = cache.get(fingerprint)
         if hit is not None:
+            telemetry.emit("workload_cache", kind=self.kind, hit=True,
+                           key=fingerprint_key(fingerprint))
             return WorkloadResult(
                 kind=self.kind, fingerprint=fingerprint, meta=hit.meta,
                 arrays=hit.arrays,
                 value=self._value_from_arrays(hit.arrays, hit.meta),
                 cache_hit=True)
+        telemetry.emit("workload_cache", kind=self.kind, hit=False,
+                       key=fingerprint_key(fingerprint))
         result = self.run(checkpoint=checkpoint, progress=progress,
                           cancel=cancel)
         cache.put(fingerprint, result.arrays, meta=result.meta)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..measure.specs import SpecSet
 
 __all__ = ["z_value", "wilson_interval", "normal_interval", "YieldEstimate",
@@ -203,12 +204,17 @@ def estimate_yield_streaming(evaluator, pdk, specs: SpecSet,
     # Runtime import: repro.mc must stay importable without repro.yieldmodel,
     # and this keeps the one-way module-level dependency explicit.
     from ..mc.streaming import DEFAULT_SKETCH_CAPACITY, monte_carlo_streaming
-    streaming = monte_carlo_streaming(
-        evaluator, pdk, config, specs=specs, adaptive=adaptive,
-        checkpoint=checkpoint, max_chunks=max_chunks,
-        sketch_capacity=(sketch_capacity if sketch_capacity is not None
-                         else DEFAULT_SKETCH_CAPACITY),
-        stage=stage, progress=progress)
+    with telemetry.span("yield.streaming", stage=stage) as estimate_span:
+        streaming = monte_carlo_streaming(
+            evaluator, pdk, config, specs=specs, adaptive=adaptive,
+            checkpoint=checkpoint, max_chunks=max_chunks,
+            sketch_capacity=(sketch_capacity if sketch_capacity is not None
+                             else DEFAULT_SKETCH_CAPACITY),
+            stage=stage, progress=progress)
+        simulated = streaming.samples_done - streaming.samples_resumed
+        telemetry.counter_add("estimator.simulations", simulated)
+        estimate_span.set(simulations=simulated,
+                          samples=streaming.samples_done)
     if confidence is None:
         confidence = streaming.confidence
     counter = streaming.counter

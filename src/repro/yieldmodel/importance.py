@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..mc.sampler import stream
 from ..process.pdk import GLOBAL_DIMS, ProcessKit, ProcessSample
 from .estimator import YieldEstimate, normal_interval
@@ -262,27 +263,32 @@ def estimate_yield_importance(evaluator, specs: SpecSet,
     config = config or ImportanceSamplingConfig()
     if config.pilot_samples < 2 or config.n_samples < 2:
         raise ValueError("pilot_samples and n_samples must be >= 2")
+    telemetry.counter_add("estimator.simulations",
+                          config.pilot_samples + config.n_samples)
 
     # Pilot: plain (unshifted) draw to locate the failure direction.
-    pilot_rng = stream(config.seed, "is-pilot")
-    zero = np.zeros(len(GLOBAL_DIMS))
-    pilot_sample, _, x_pilot = _draw_shifted(
-        pdk, config.pilot_samples, pilot_rng, zero,
-        config.include_mismatch)
-    pilot_perf = {name: np.asarray(values, dtype=float).reshape(-1)
-                  for name, values in evaluator(pilot_sample).items()}
-    pilot_fail = ~specs.pass_mask(pilot_perf)
-    margins = _aggregate_margin(pilot_perf, specs)
-    shift = _mean_shift(x_pilot, pilot_fail, margins, config)
+    with telemetry.span("yield.importance.pilot",
+                        samples=config.pilot_samples):
+        pilot_rng = stream(config.seed, "is-pilot")
+        zero = np.zeros(len(GLOBAL_DIMS))
+        pilot_sample, _, x_pilot = _draw_shifted(
+            pdk, config.pilot_samples, pilot_rng, zero,
+            config.include_mismatch)
+        pilot_perf = {name: np.asarray(values, dtype=float).reshape(-1)
+                      for name, values in evaluator(pilot_sample).items()}
+        pilot_fail = ~specs.pass_mask(pilot_perf)
+        margins = _aggregate_margin(pilot_perf, specs)
+        shift = _mean_shift(x_pilot, pilot_fail, margins, config)
 
     # Main run: shifted proposal + likelihood-ratio reweighting.
-    main_rng = stream(config.seed, "is-main")
-    sample, weights = shifted_sample(
-        pdk, config.n_samples, main_rng, shift,
-        include_mismatch=config.include_mismatch)
-    performance = {name: np.asarray(values, dtype=float).reshape(-1)
-                   for name, values in evaluator(sample).items()}
-    fail = ~specs.pass_mask(performance)
+    with telemetry.span("yield.importance.main", samples=config.n_samples):
+        main_rng = stream(config.seed, "is-main")
+        sample, weights = shifted_sample(
+            pdk, config.n_samples, main_rng, shift,
+            include_mismatch=config.include_mismatch)
+        performance = {name: np.asarray(values, dtype=float).reshape(-1)
+                       for name, values in evaluator(sample).items()}
+        fail = ~specs.pass_mask(performance)
 
     contributions = weights * fail
     failure_probability = float(np.mean(contributions))

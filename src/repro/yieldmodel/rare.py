@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import YieldModelError
 from ..exec import resolve_backend
 from ..mc.sampler import child_streams, stream
@@ -413,9 +414,13 @@ def estimate_yield_rare(evaluator, specs: SpecSet, pdk: ProcessKit,
     for index in range(config.max_levels):
         rng = stream(config.seed, f"rare-level-{index}")
         x, _ = _draw_level(rng, config.n_per_level, shift)
-        margins, fail = _chunk_margins(
-            evaluator, specs, pdk, x, config=config,
-            stage=f"rare-level-{index}", progress=progress)
+        with telemetry.span("rare.level", index=index,
+                            samples=config.n_per_level):
+            telemetry.counter_add("estimator.simulations",
+                                  config.n_per_level)
+            margins, fail = _chunk_margins(
+                evaluator, specs, pdk, x, config=config,
+                stage=f"rare-level-{index}", progress=progress)
         threshold = max(
             float(np.quantile(margins, config.level_quantile)), 0.0)
         elite = margins <= threshold
@@ -446,9 +451,12 @@ def estimate_yield_rare(evaluator, specs: SpecSet, pdk: ProcessKit,
     # estimator below is exactly unbiased.
     rng = stream(config.seed, "rare-final")
     x, weights = _draw_level(rng, config.n_final, shift)
-    _, fail = _chunk_margins(
-        evaluator, specs, pdk, x, config=config,
-        stage="rare-final", progress=progress)
+    with telemetry.span("rare.final", samples=config.n_final,
+                        levels=len(levels)):
+        telemetry.counter_add("estimator.simulations", config.n_final)
+        _, fail = _chunk_margins(
+            evaluator, specs, pdk, x, config=config,
+            stage="rare-final", progress=progress)
     contributions = weights * fail
     p_fail = float(np.mean(contributions))
     std_error = float(np.std(contributions, ddof=1)

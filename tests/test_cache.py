@@ -267,3 +267,70 @@ class TestResultCache:
         assert stats.hit_rate == pytest.approx(0.75)
         assert "75.0%" in stats.describe()
         assert CacheStats().hit_rate == 0.0
+
+    def test_concurrent_access_exact_counters(self, tmp_path):
+        # Regression: one ResultCache is shared across JobQueue worker
+        # threads, but stats updates and LRU eviction used to run
+        # unlocked -- concurrent hits could drop increments and racing
+        # evictions could double-count.  With the internal lock, N
+        # threads hammering the same instance must produce exact totals.
+        import threading
+
+        cache = ResultCache(tmp_path)
+        workers, rounds = 8, 25
+        prints = [self.fingerprint(n) for n in range(4)]
+        for fingerprint in prints:
+            cache.put(fingerprint, {"a": np.arange(8)})
+        start = threading.Barrier(workers)
+        errors = []
+
+        def hammer(index):
+            try:
+                start.wait(timeout=10)
+                for round_ in range(rounds):
+                    hit = cache.get(prints[(index + round_) % len(prints)])
+                    assert hit is not None
+                    cache.get(self.fingerprint(1000 + index))  # miss
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert cache.stats.hits == workers * rounds
+        assert cache.stats.misses == workers * rounds
+        assert cache.stats.stores == len(prints)
+
+    def test_concurrent_puts_with_eviction(self, tmp_path):
+        # Eviction under contention: every put may evict; the store must
+        # never crash on a concurrently-removed entry and the budget
+        # must hold afterwards.
+        import threading
+
+        cache = ResultCache(tmp_path, max_entries=3)
+        workers, rounds = 6, 15
+        start = threading.Barrier(workers)
+        errors = []
+
+        def hammer(index):
+            try:
+                start.wait(timeout=10)
+                for round_ in range(rounds):
+                    cache.put(self.fingerprint(index * rounds + round_),
+                              {"a": np.arange(16)})
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(cache) <= 3
+        assert cache.stats.stores == workers * rounds

@@ -21,8 +21,8 @@ from repro.mc import MCConfig
 from repro.measure.specs import Spec, SpecSet
 from repro.process import C35
 from repro.service import (JOB_STATES, JobQueue, job_statuses, read_status,
-                           request_cancel, request_stop, serve,
-                           submit_request, workload_from_request)
+                           request_cancel, request_stats, request_stop,
+                           serve, submit_request, workload_from_request)
 from repro.workload import StreamingYieldWorkload, Workload
 
 SPECS = SpecSet([Spec("metric", "ge", 10.0)])
@@ -344,6 +344,34 @@ class TestDaemon:
         assert status["state"] == "cancelled"
         request_stop(tmp_path)
         thread.join(timeout=30)
+
+    def test_stats_round_trip(self, tmp_path):
+        thread, _ = self.serve_in_thread(tmp_path, sample_every=0.02)
+        job_id = submit_request(tmp_path, LINT_REQUEST)
+        self.wait_for_state(tmp_path, job_id, ("done",))
+        time.sleep(0.1)  # at least two gauge-sample intervals
+        payload = request_stats(tmp_path, timeout=30)
+        # Live cache figures: the lint job was a miss then a store.
+        assert payload["cache"]["misses"] >= 1
+        assert payload["cache"]["stores"] >= 1
+        assert payload["cache"]["entries"] >= 1
+        assert payload["jobs"]["done"] >= 1
+        # The registry snapshot mirrors the cache counters...
+        counters = payload["metrics"]["counters"]
+        assert counters.get("cache.misses", 0) >= 1
+        assert counters.get("jobs.done", 0) >= 1
+        # ...and carries a timestamped cache-size gauge history.
+        samples = payload["metrics"]["gauges"]["cache.bytes"]["samples"]
+        assert len(samples) >= 2
+        assert all(t > 0 and value >= 0 for t, value in samples)
+        # The request/response files are consumed.
+        assert list((tmp_path / "stats").iterdir()) == []
+        request_stop(tmp_path)
+        thread.join(timeout=30)
+
+    def test_stats_times_out_without_daemon(self, tmp_path):
+        with pytest.raises(WorkloadError, match="no stats response"):
+            request_stats(tmp_path, timeout=0.2, poll=0.02)
 
     def test_bad_queue_file_becomes_failed_status(self, tmp_path):
         # A request written behind submit_request's back (no client-side
