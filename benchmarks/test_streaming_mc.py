@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.designs import OTAParameters, evaluate_ota
 from repro.mc import AdaptiveStop, MCConfig, monte_carlo
-from repro.measure.specs import Spec, SpecSet
 from repro.mc.statistics import relative_spread_pct
+from repro.measure.specs import Spec, SpecSet
 from repro.process import C35
 from repro.yieldmodel import estimate_yield, estimate_yield_streaming
 

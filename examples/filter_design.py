@@ -51,7 +51,7 @@ def main() -> None:
     mag = ac_analysis(circuit, freqs).magnitude_db("v2")[0]
     print("\ntransistor-level filter response:")
     floor, ceil = -60.0, 5.0
-    for f, m in zip(freqs, mag):
+    for f, m in zip(freqs, mag, strict=True):
         column = int((np.clip(m, floor, ceil) - floor) / (ceil - floor) * 50)
         print(f"  {f:>10.3g} Hz {m:>8.2f} dB |{'*' * column}")
 

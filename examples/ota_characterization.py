@@ -23,7 +23,7 @@ from repro.process import C35
 def ascii_histogram(samples, bins=9, width=40) -> str:
     counts, edges = np.histogram(samples, bins=bins)
     lines = []
-    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:], strict=True):
         bar = "#" * int(round(width * count / max(counts.max(), 1)))
         lines.append(f"  {lo:7.2f}..{hi:7.2f} | {bar} {count}")
     return "\n".join(lines)

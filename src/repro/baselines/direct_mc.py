@@ -27,13 +27,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..designs.ota import OTAParameters, evaluate_ota
-from ..measure.specs import SpecSet
-from ..moo.ga import GAConfig, gaussian_mutation, tournament_select, uniform_crossover
+from ..flow.accounting import SimulationLedger
 from ..mc.engine import MCConfig, monte_carlo_points
 from ..mc.sampler import stream
+from ..measure.specs import SpecSet
+from ..moo.ga import (GAConfig, gaussian_mutation, tournament_select,
+                      uniform_crossover)
 from ..process import C35, ProcessKit
 from ..yieldmodel.estimator import YieldEstimate, estimate_yield
-from ..flow.accounting import SimulationLedger
 
 __all__ = ["DirectMCConfig", "DirectMCResult", "run_direct_mc_optimization"]
 

@@ -135,4 +135,4 @@ def canonical_fingerprint(kind: str, config, *, evaluator: str = "",
 
 def fingerprint_key(fingerprint: str) -> str:
     """Content-address of a fingerprint: its SHA-256 hex digest."""
-    return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+    return hashlib.sha256(fingerprint.encode()).hexdigest()

@@ -83,7 +83,7 @@ def atomic_write_bytes(path, data: bytes) -> Path:
 
 def atomic_write_text(path, text: str) -> Path:
     """Write ``text`` (UTF-8) to ``path`` atomically."""
-    return atomic_write_bytes(path, text.encode("utf-8"))
+    return atomic_write_bytes(path, text.encode())
 
 
 def atomic_write_npz(path, arrays: dict) -> Path:
@@ -240,7 +240,7 @@ class ResultCache:
         key = fingerprint_key(fingerprint)
         payload = {name: np.asarray(data) for name, data in arrays.items()}
         payload[_FINGERPRINT_KEY] = np.frombuffer(
-            fingerprint.encode("utf-8"), dtype=np.uint8)
+            fingerprint.encode(), dtype=np.uint8)
         with self._lock:
             atomic_write_npz(self._npz(key), payload)
             atomic_write_text(self._json(key), json.dumps(

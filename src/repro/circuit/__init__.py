@@ -2,7 +2,7 @@
 
 from .elements import (CCCS, CCVS, PWL, VCCS, VCVS, Capacitor, CurrentSource,
                        Diode, Inductor, Pulse, Resistor, Sine, VoltageSource)
-from .mosfet import MOSModel, Mosfet
+from .mosfet import Mosfet, MOSModel
 from .netlist import Circuit, Element, is_ground
 
 __all__ = [

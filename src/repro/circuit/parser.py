@@ -31,7 +31,7 @@ from ..errors import ParseError
 from ..units import parse_si
 from .elements import (CCCS, CCVS, VCCS, VCVS, Capacitor, CurrentSource,
                        Diode, Inductor, Resistor, VoltageSource)
-from .mosfet import MOSModel, Mosfet
+from .mosfet import Mosfet, MOSModel
 from .netlist import Circuit, is_ground
 
 __all__ = ["parse_netlist", "NetlistParser", "SubcircuitDef"]
@@ -401,7 +401,7 @@ class NetlistParser:
         port_map = getattr(self, "_active_port_map", None)
         resolved_outer = [self._map_node(n, prefix, port_map)
                           for n in outer_nodes]
-        inner_map = dict(zip(definition.ports, resolved_outer))
+        inner_map = dict(zip(definition.ports, resolved_outer, strict=True))
         self.instantiated.add(subckt_name)
 
         if self._flatten_depth >= self.MAX_FLATTEN_DEPTH:

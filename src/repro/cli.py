@@ -34,13 +34,13 @@ from . import __version__
 from .designs.ota import OTA_DESIGN_SPACE
 from .errors import ReproError
 from .exec import resolve_backend
-from .process import C35
 from .flow.artifacts import rebuild_model, save_flow_artifacts
 from .flow.filter_flow import FilterFlowConfig, run_filter_flow
 from .flow.pipeline import (paper_scale_config, reduced_config,
                             run_model_build_flow)
 from .lint import LINT_MODES, lint_file
 from .measure.specs import Spec, SpecSet
+from .process import C35
 
 __all__ = ["main"]
 

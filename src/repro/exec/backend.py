@@ -35,8 +35,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 from .. import telemetry
 from ..errors import ReproError

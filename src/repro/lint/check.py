@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from ..circuit.netlist import Circuit
-from ..errors import LintGateError, LintError, ParseError
+from ..errors import LintError, LintGateError, ParseError
 from .graph import CircuitGraph
 from .report import Finding, LintReport
 from .rules import LintContext, run_rules

@@ -29,8 +29,8 @@ id                        severity  detects
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
 
 from ..circuit.netlist import Circuit
 from ..errors import LintError

@@ -24,7 +24,7 @@ def _key_to_int(key: str) -> int:
     """Map a stage-name string to a stable 32-bit integer."""
     # FNV-1a; stable across Python runs (unlike the builtin hash()).
     value = 2166136261
-    for byte in key.encode("utf-8"):
+    for byte in key.encode():
         value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
     return value
 
@@ -187,7 +187,7 @@ def erf(x) -> np.ndarray:
         z = ax[centre] ** 2
         num = _ERF_A[4] * z
         den = z
-        for a_i, b_i in zip(_ERF_A[:3], _ERF_B[:3]):
+        for a_i, b_i in zip(_ERF_A[:3], _ERF_B[:3], strict=True):
             num = (num + a_i) * z
             den = (den + b_i) * z
         result[centre] = ax[centre] * (num + _ERF_A[3]) / (den + _ERF_B[3])
@@ -198,7 +198,7 @@ def erf(x) -> np.ndarray:
         y = ax[mid]
         num = _ERF_C[8] * y
         den = y
-        for c_i, d_i in zip(_ERF_C[:7], _ERF_D[:7]):
+        for c_i, d_i in zip(_ERF_C[:7], _ERF_D[:7], strict=True):
             num = (num + c_i) * y
             den = (den + d_i) * y
         erfc = np.exp(-y * y) * (num + _ERF_C[7]) / (den + _ERF_D[7])
@@ -211,7 +211,7 @@ def erf(x) -> np.ndarray:
         z = 1.0 / (y * y)
         num = _ERF_P[5] * z
         den = z
-        for p_i, q_i in zip(_ERF_P[:4], _ERF_Q[:4]):
+        for p_i, q_i in zip(_ERF_P[:4], _ERF_Q[:4], strict=True):
             num = (num + p_i) * z
             den = (den + q_i) * z
         poly = z * (num + _ERF_P[4]) / (den + _ERF_Q[4])

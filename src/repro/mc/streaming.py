@@ -701,9 +701,9 @@ def _write_checkpoint(path: Path, fingerprint: str, cursor: int,
     arrays: dict[str, np.ndarray] = {
         "cursor": np.array([cursor]),
         "fingerprint": np.frombuffer(
-            fingerprint.encode("utf-8"), dtype=np.uint8),
+            fingerprint.encode(), dtype=np.uint8),
         "names": np.frombuffer(
-            json.dumps(sorted(accumulators)).encode("utf-8"),
+            json.dumps(sorted(accumulators)).encode(),
             dtype=np.uint8),
     }
     for name, accumulator in accumulators.items():

@@ -527,7 +527,7 @@ class EstimatorLadder:
                     confidence=config.confidence))
             return estimate.yield_estimate, estimate.std_error
 
-        tasks = [(int(index), int(uid)) for index, uid in zip(indices, uids)]
+        tasks = [(int(index), int(uid)) for index, uid in zip(indices, uids, strict=True)]
         results = resolve_backend(config.backend, config.workers).run(
             run_candidate, tasks)
         self._record(2, indices.size * config.fidelity_cost(2, self.pdk),

@@ -137,10 +137,11 @@ class JobQueue:
 
     # -- inspection -------------------------------------------------------
     def _job(self, job_id: str) -> Job:
-        try:
-            return self._jobs[job_id]
-        except KeyError:
-            raise WorkloadError(f"unknown job id {job_id!r}") from None
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise WorkloadError(f"unknown job id {job_id!r}") from None
 
     def status(self, job_id: str) -> dict:
         """Status snapshot of one job."""
@@ -149,13 +150,15 @@ class JobQueue:
     def jobs(self) -> list[dict]:
         """Status snapshots of every job, in submission order."""
         with self._lock:
-            order = list(self._order)
-        return [self._jobs[job_id].snapshot() for job_id in order]
+            ordered = [self._jobs[job_id] for job_id in self._order]
+        return [job.snapshot() for job in ordered]
 
     def counts(self) -> dict[str, int]:
         """Jobs per lifecycle state."""
         out = dict.fromkeys(JOB_STATES, 0)
-        for job in list(self._jobs.values()):
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
             out[job.state] += 1
         return out
 

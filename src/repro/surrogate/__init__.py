@@ -27,7 +27,7 @@ importance sampling, and corner bounding.
 
 from .estimator import (SurrogateConfig, SurrogateYieldEstimate,
                         SurrogateYieldEstimator, estimate_yield_surrogate)
-from .regression import (PolynomialSurrogate, RBFSurrogate, SURROGATE_KINDS,
+from .regression import (SURROGATE_KINDS, PolynomialSurrogate, RBFSurrogate,
                          fit_surrogate)
 from .train import (SurrogateBundle, evaluate_sigma_batch, load_surrogates,
                     save_surrogates, surrogate_arrays, surrogates_from_arrays,

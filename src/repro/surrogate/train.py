@@ -35,7 +35,7 @@ from ..errors import SurrogateError
 from ..exec import resolve_backend
 from ..mc.sampler import child_streams, latin_hypercube_normal, stream
 from ..process.pdk import GLOBAL_DIMS, ProcessKit
-from .regression import (PolynomialSurrogate, RBFSurrogate, SURROGATE_KINDS,
+from .regression import (SURROGATE_KINDS, PolynomialSurrogate, RBFSurrogate,
                          fit_surrogate)
 
 __all__ = ["SurrogateBundle", "train_surrogates", "evaluate_sigma_batch",

@@ -109,7 +109,7 @@ def write_table(path, coordinates, values, *, header: str = "") -> Path:
     with path.open("w") as handle:
         for line in header.splitlines():
             handle.write(f"# {line}\n")
-        for row, value in zip(coordinates, values):
+        for row, value in zip(coordinates, values, strict=True):
             fields = [f"{c:.17g}" for c in row] + [f"{value:.17g}"]
             handle.write(" ".join(fields) + "\n")
     return path

@@ -179,7 +179,7 @@ def _dedupe_knots(x: np.ndarray, y: np.ndarray,
     scale = max(abs(x[0]), abs(x[-1]), 1.0)
     keep_x = [x[0]]
     groups = [[y[0]]]
-    for xi, yi in zip(x[1:], y[1:]):
+    for xi, yi in zip(x[1:], y[1:], strict=True):
         if xi - keep_x[-1] <= rtol * scale:
             groups[-1].append(yi)
         else:

@@ -57,7 +57,7 @@ class EventSink:
     def emit(self, event: dict) -> None:
         """Append one event (a JSON-serialisable mapping) as one line."""
         line = (json.dumps(event, separators=(",", ":"), sort_keys=True)
-                + "\n").encode("utf-8")
+                + "\n").encode()
         with self._lock:
             if (self.max_bytes is not None
                     and self._approx_bytes + len(line) > self.max_bytes):

@@ -31,9 +31,10 @@ from __future__ import annotations
 import itertools
 import os
 import time
+from collections.abc import Callable
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Callable, NamedTuple
+from typing import NamedTuple
 
 __all__ = ["Span", "SpanContext", "Tracer", "NULL_SPAN"]
 

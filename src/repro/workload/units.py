@@ -91,6 +91,7 @@ class LintWorkload(Workload):
     def __init__(self, circuit, mode: str = "strict", *,
                  stage: str = "pre-flight lint", source: str = "") -> None:
         from ..cache import fingerprint_key
+        # reprolint: disable=fingerprint-completeness -- circuit is opaque to the fingerprint; identity comes from the digested `source` text via evaluator_id, and cacheable is False without it
         self.circuit = circuit
         self.mode = mode
         self.stage = stage
@@ -173,6 +174,7 @@ class CornerSweepWorkload(Workload):
         self.grid = grid
         self.backend = backend
         self.workers = workers
+        # reprolint: disable=fingerprint-completeness -- the sweep draws no random streams, so chunk geometry provably cannot change its numbers (see class docstring)
         self.chunk_lanes = chunk_lanes
         self.evaluator_id = evaluator_id
 
@@ -411,9 +413,13 @@ class SurrogateTrainWorkload(Workload):
         self.evaluator_id = evaluator_id
 
     def config(self) -> dict:
+        # chunk_lanes is fingerprint-relevant here (unlike the corner
+        # sweep): mismatch draws come from per-chunk child streams, so
+        # chunk geometry shapes the training data.
         return {"pdk": self.pdk.name, "n_train": self.n_train,
                 "seed": self.seed, "surrogate_kind": self.surrogate_kind,
-                "include_mismatch": self.include_mismatch}
+                "include_mismatch": self.include_mismatch,
+                "chunk_lanes": self.chunk_lanes}
 
     def _execute(self, *, checkpoint, progress) -> WorkloadResult:
         bundle = train_surrogates(

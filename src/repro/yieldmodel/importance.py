@@ -47,9 +47,9 @@ import numpy as np
 
 from .. import telemetry
 from ..mc.sampler import stream
+from ..measure.specs import SpecSet
 from ..process.pdk import GLOBAL_DIMS, ProcessKit, ProcessSample
 from .estimator import YieldEstimate, normal_interval
-from ..measure.specs import SpecSet
 
 __all__ = ["ImportanceSamplingConfig", "ImportanceSamplingEstimate",
            "estimate_yield_importance", "global_sigmas", "shifted_sample"]
@@ -159,8 +159,8 @@ class ImportanceSamplingEstimate:
         """Multi-line report: estimate, CI, ESS, and proposal shift."""
         lo, hi = self.interval
         shift = ", ".join(f"{name}={value:+.2f}s"
-                          for name, value in zip(GLOBAL_DIMS,
-                                                 self.shift_sigma))
+                          for name, value in zip(GLOBAL_DIMS, self.shift_sigma,
+                                                 strict=True))
         return (f"IS yield {self.percent:.2f}% "
                 f"({self.confidence:.0%} CI: [{100 * lo:.2f}%, "
                 f"{100 * hi:.2f}%])\n"

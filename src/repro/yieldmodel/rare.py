@@ -306,8 +306,8 @@ class RareEventResult:
         """Multi-line report: p_fail, sigma level, CI, level ledger."""
         lo, hi = self.interval
         shift = ", ".join(f"{name}={value:+.2f}s"
-                          for name, value in zip(GLOBAL_DIMS,
-                                                 self.shift_sigma))
+                          for name, value in zip(GLOBAL_DIMS, self.shift_sigma,
+                                                 strict=True))
         lines = [
             f"rare-event p_fail {self.p_fail:.3e} "
             f"(= {self.sigma_level:.2f} sigma; "

@@ -1,0 +1,16 @@
+# reprolint fixture: MUST trigger error-contract.
+# Deliberate contract violations -- excluded from ruff (see ruff.toml).
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return ""
+
+
+def probe(fn):
+    try:
+        fn()
+    except Exception:
+        pass

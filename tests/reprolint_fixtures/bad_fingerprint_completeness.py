@@ -1,0 +1,14 @@
+# reprolint fixture: MUST trigger fingerprint-completeness.
+
+
+class Workload:
+    pass
+
+
+class TrainWorkload(Workload):
+    def __init__(self, n_train, chunk_lanes):
+        self.n_train = n_train
+        self.chunk_lanes = chunk_lanes  # never reaches config(): stale cache
+
+    def config(self):
+        return {"n_train": self.n_train}

@@ -1,0 +1,8 @@
+# reprolint fixture: MUST trigger fingerprint-determinism.
+import time
+
+
+class Thing:
+    def config(self):
+        # A wall-clock read: two identical configs fingerprint apart.
+        return {"stamp": time.time()}

@@ -1,0 +1,20 @@
+# reprolint fixture: MUST trigger lock-discipline.
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        # Unlocked read of a field mutated under the lock.
+        return self._entries.get(key)
+
+    def reset(self):
+        # Unlocked write: a putter can lose its update entirely.
+        self._entries = {}

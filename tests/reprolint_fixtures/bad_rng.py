@@ -1,0 +1,8 @@
+# reprolint fixture: MUST trigger rng-discipline.
+# Deliberate contract violations -- excluded from ruff (see ruff.toml).
+import numpy as np
+
+
+def draw(n):
+    # Naked module-level draw: depends on global stream call order.
+    return np.random.normal(size=n)

@@ -1,0 +1,5 @@
+# reprolint fixture: MUST trigger suppression-hygiene.
+
+WORKERS = 4  # reprolint: disable=no-such-rule -- the rule id is unknown
+
+LANES = 8  # reprolint: disable=rng-discipline

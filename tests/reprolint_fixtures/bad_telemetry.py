@@ -1,0 +1,7 @@
+# reprolint fixture: MUST trigger telemetry-hygiene.
+from repro import telemetry
+
+
+def work():
+    telemetry.span("exec.run")  # opened outside `with`: never closed
+    telemetry.counter_add("cache.hit")  # off-taxonomy (cache.hits)

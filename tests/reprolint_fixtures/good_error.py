@@ -1,0 +1,16 @@
+# reprolint fixture: error-contract passes.
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return ""
+
+
+def probe(fn, log):
+    try:
+        fn()
+    except Exception as exc:
+        log.append(repr(exc))
+        raise

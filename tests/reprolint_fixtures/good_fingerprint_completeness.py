@@ -1,0 +1,15 @@
+# reprolint fixture: fingerprint-completeness passes.
+
+
+class Workload:
+    pass
+
+
+class TrainWorkload(Workload):
+    def __init__(self, n_train, chunk_lanes, backend=None):
+        self.n_train = n_train
+        self.chunk_lanes = chunk_lanes
+        self.backend = backend  # exec-only: exempt by contract
+
+    def config(self):
+        return {"n_train": self.n_train, "chunk_lanes": self.chunk_lanes}

@@ -1,0 +1,12 @@
+# reprolint fixture: fingerprint-determinism passes.
+import json
+
+
+class Thing:
+    seed = 7
+
+    def config(self):
+        return {"seed": self.seed}
+
+    def fingerprint(self):
+        return json.dumps(self.config(), sort_keys=True)

@@ -1,0 +1,23 @@
+# reprolint fixture: lock-discipline passes.
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._compact()
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+    def _compact(self):
+        # Private helper called only from under the lock: analysed as
+        # lock-held (the emit()/_rotate() pattern).
+        if len(self._entries) > 100:
+            self._entries.clear()

@@ -1,0 +1,11 @@
+# reprolint fixture: rng-discipline passes.
+import numpy as np
+
+
+def draw(rng, n):
+    # A generator argument keeps the caller in charge of the stream.
+    return rng.normal(size=n)
+
+
+def make(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,6 @@
+# reprolint fixture: a reasoned suppression of a real finding passes.
+import numpy as np
+
+
+def legacy(n):
+    return np.random.normal(size=n)  # reprolint: disable=rng-discipline -- fixture demonstrating a sound, reasoned exemption

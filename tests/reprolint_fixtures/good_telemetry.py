@@ -1,0 +1,9 @@
+# reprolint fixture: telemetry-hygiene passes.
+from repro import telemetry
+
+
+def work(state):
+    with telemetry.span("exec.run"):
+        telemetry.counter_add("exec.tasks")
+        telemetry.counter_add(f"jobs.{state}")
+        telemetry.gauge_set("cache.entries", 3)

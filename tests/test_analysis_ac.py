@@ -2,8 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis import ac_analysis, dc_operating_point, log_frequencies
 from repro.circuit import (Capacitor, Circuit, CurrentSource, Inductor,

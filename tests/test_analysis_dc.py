@@ -3,8 +3,7 @@ and the KCL-residual property on random networks."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis import Assembler, NewtonOptions, dc_operating_point
 from repro.analysis.mna import solve_batched

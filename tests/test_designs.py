@@ -3,14 +3,13 @@ behavioural-vs-transistor agreement."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis import dc_operating_point
-from repro.designs import (DEFAULT_FILTER_SPEC, FilterCaps, FilterSpec,
-                           OTA_DESIGN_SPACE, OTAParameters,
-                           build_filter_behavioral, build_filter_transistor,
-                           build_ota, evaluate_filter, evaluate_ota)
+from repro.designs import (DEFAULT_FILTER_SPEC, OTA_DESIGN_SPACE, FilterCaps,
+                           FilterSpec, OTAParameters, build_filter_behavioral,
+                           build_filter_transistor, build_ota, evaluate_filter,
+                           evaluate_ota)
 from repro.designs.problems import (BehavioralFilterProblem, OTAProblem,
                                     filter_margins)
 from repro.errors import ReproError

@@ -173,7 +173,7 @@ class TestFilterFlow:
     def test_caps_within_bounds(self, filter_result):
         from repro.designs.filter2 import FilterCaps
         caps = filter_result.caps.to_array()
-        for value, (lo, hi) in zip(caps, FilterCaps.BOUNDS):
+        for value, (lo, hi) in zip(caps, FilterCaps.BOUNDS, strict=True):
             assert lo <= value <= hi
 
     def test_nominal_meets_mask(self, filter_result):

@@ -22,8 +22,7 @@ import json
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis import dc_operating_point
 from repro.behavioral import BehavioralOTA

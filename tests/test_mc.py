@@ -24,7 +24,7 @@ class TestStreams:
     def test_child_streams_independent_and_reproducible(self):
         a = child_streams(7, "pts", 3)
         b = child_streams(7, "pts", 3)
-        for ga, gb in zip(a, b):
+        for ga, gb in zip(a, b, strict=True):
             assert ga.random() == gb.random()
         values = [g.random() for g in child_streams(7, "pts", 3)]
         assert len(set(values)) == 3

@@ -2,8 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
+from hypothesis import given, strategies as st
 
 from repro.errors import OptimizationError
 from repro.moo import (FunctionProblem, GAConfig, Objective, normalise_weights,

@@ -2,10 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.circuit.mosfet import MOSModel, Mosfet
+from repro.circuit.mosfet import Mosfet, MOSModel
 from repro.errors import NetlistError
 
 NMOS = MOSModel("nmos", "n", vto=0.5, kp=170e-6)

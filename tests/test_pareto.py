@@ -1,13 +1,12 @@
 """Pareto dominance utility tests, including 2-D fast path vs general."""
 
 import numpy as np
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.moo.pareto import (crowding_distance, dominates,
+from repro.moo.pareto import (_mask_general, _mask_two_objectives,
+                              crowding_distance, dominates,
                               fast_non_dominated_sort, non_dominated_mask,
                               pareto_front_indices)
-from repro.moo.pareto import _mask_general, _mask_two_objectives
 
 
 class TestDominates:

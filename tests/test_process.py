@@ -2,8 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ReproError
 from repro.process import (C35, MismatchModel, ProcessSample, make_c35)

@@ -17,8 +17,7 @@ determinism of the splitting-level walk under a ``max_levels`` cap.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import YieldModelError
 from repro.mc import MCConfig, monte_carlo
@@ -298,7 +297,7 @@ class TestProperties:
                        max_levels=cap)
         expected = min(cap, full.n_levels)
         assert capped.n_levels == expected
-        for capped_level, full_level in zip(capped.levels, full.levels):
+        for capped_level, full_level in zip(capped.levels, full.levels, strict=False):
             assert capped_level.threshold == full_level.threshold
             assert capped_level.acceptance == full_level.acceptance
             np.testing.assert_array_equal(capped_level.shift_sigma,

@@ -2,8 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ExtrapolationError, TableModelError
 from repro.tablemodel import (LinearInterpolator, NaturalCubicSpline,

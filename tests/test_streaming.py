@@ -267,7 +267,8 @@ class TestStreamingEngine:
             MCConfig(n_samples=200, seed=9, chunk_lanes=16,
                      backend=backend))
         for a, b in zip(accumulator_states(serial),
-                        accumulator_states(pooled)):
+                        accumulator_states(pooled),
+                        strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_memory_bounded_by_chunk_lanes(self):
@@ -392,7 +393,8 @@ class TestCheckpointResume:
         assert resumed.samples_resumed == first.samples_done
         assert whole.samples_resumed == 0
         for a, b in zip(accumulator_states(resumed),
-                        accumulator_states(whole)):
+                        accumulator_states(whole),
+                        strict=True):
             np.testing.assert_array_equal(a, b)
         assert resumed.counter.state().tolist() == \
             whole.counter.state().tolist()
@@ -409,7 +411,8 @@ class TestCheckpointResume:
                 break
         whole = monte_carlo_streaming(metric_evaluator, C35, config)
         for a, b in zip(accumulator_states(result),
-                        accumulator_states(whole)):
+                        accumulator_states(whole),
+                        strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_mismatched_config_rejected(self, tmp_path):
@@ -447,7 +450,8 @@ class TestCheckpointResume:
         assert sharded.stopped_early == whole.stopped_early
         assert sharded.samples_done == whole.samples_done
         for a, b in zip(accumulator_states(sharded),
-                        accumulator_states(whole)):
+                        accumulator_states(whole),
+                        strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_mismatched_stage_rejected(self, tmp_path):
@@ -500,7 +504,8 @@ class TestCheckpointResume:
                                       specs=self.SPECS)
         assert resumed.complete
         for a, b in zip(accumulator_states(resumed),
-                        accumulator_states(whole)):
+                        accumulator_states(whole),
+                        strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_adaptive_resume_already_settled(self, tmp_path):

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.errors import ReproError, SurrogateError
 from repro.designs import OTAParameters, evaluate_ota
 from repro.designs.filter2 import (FilterCaps, build_filter_transistor,
                                    evaluate_filter)
+from repro.errors import ReproError, SurrogateError
 from repro.flow import FlowConfig, run_model_build_flow, save_flow_artifacts
 from repro.mc import MCConfig, monte_carlo
 from repro.measure import Spec, SpecSet

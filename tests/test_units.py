@@ -3,8 +3,7 @@
 import math
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
+from hypothesis import given, strategies as st
 
 from repro.units import db10, db20, format_si, from_db10, from_db20, parse_si
 

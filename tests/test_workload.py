@@ -16,7 +16,8 @@ import pytest
 
 import repro
 from repro.cache import ResultCache, fingerprint_key
-from repro.errors import JobCancelled, LintGateError, WorkloadError
+from repro.errors import (JobCancelled, LintGateError, ParseError,
+                          WorkloadError)
 from repro.mc import MCConfig
 from repro.measure.specs import Spec, SpecSet
 from repro.process import C35
@@ -194,7 +195,8 @@ class TestCacheRoundTrip:
         np.testing.assert_array_equal(hit.value.shift_sigma,
                                       fresh.value.shift_sigma)
         assert hit.value.n_levels == fresh.value.n_levels
-        for rebuilt, original in zip(hit.value.levels, fresh.value.levels):
+        for rebuilt, original in zip(hit.value.levels, fresh.value.levels,
+                                      strict=True):
             assert rebuilt.threshold == original.threshold
             assert rebuilt.acceptance == original.acceptance
             np.testing.assert_array_equal(rebuilt.shift_sigma,
@@ -273,7 +275,7 @@ class TestLintWorkload:
                    for finding in meta["findings"])
 
     def test_parse_errors_surface_at_construction(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ParseError):
             lint_workload_from_source("R1 only_one_node 1k\n")
 
 

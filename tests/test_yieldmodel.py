@@ -7,8 +7,7 @@ paper's Table 3 numbers (50 dB -> 50.26 dB, 74 deg -> 75.27 deg) exactly.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import SpecificationError, YieldModelError
 from repro.measure import Spec, SpecSet

@@ -1,0 +1,2 @@
+# Repository tooling package (``python -m tools.reprolint``,
+# ``python tools/gen_api_docs.py``).  Not shipped with the library.

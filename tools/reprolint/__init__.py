@@ -1,0 +1,24 @@
+"""reprolint: AST-based invariant checks over the repro source tree.
+
+The netlist linter (:mod:`repro.lint`) checks circuits; reprolint turns
+the same registry/report architecture on the codebase itself, statically
+enforcing the contracts the runtime silently depends on -- seeded RNG
+streams, deterministic cache fingerprints, fingerprint completeness,
+lock discipline, telemetry hygiene and error handling.
+
+Run it as ``python -m tools.reprolint src/repro`` (see
+``docs/static-analysis.md`` for the rule catalogue and the
+suppression/baseline workflow).
+"""
+
+from .engine import (ModuleContext, Suppression, analyze, load_baseline,
+                     parse_modules, walk_paths)
+from .report import SEVERITIES, Finding, Report
+from .rules import RULES, Rule, iter_rules, rule, run_rules
+
+__all__ = [
+    "ModuleContext", "Suppression", "analyze", "load_baseline",
+    "parse_modules", "walk_paths",
+    "SEVERITIES", "Finding", "Report",
+    "RULES", "Rule", "iter_rules", "rule", "run_rules",
+]

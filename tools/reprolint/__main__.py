@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``.
+
+Exit codes follow the ``repro lint`` convention: 0 when the tree is
+clean (warnings tolerated unless ``--strict``), 1 when any error-level
+finding survives suppressions and the baseline, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import analyze, load_baseline
+from .rules import iter_rules
+
+#: Exemptions that cannot live next to the code (ships empty: every
+#: current exemption is an inline, reasoned suppression).
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="statically check the repro contracts (RNG, "
+                    "fingerprint, lock, telemetry, error handling)")
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text")
+    parser.add_argument(
+        "--only", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=str(DEFAULT_BASELINE),
+        help="baseline file of known exemptions "
+             "(default: %(default)s; pass '' to disable)")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures too")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for lint_rule in iter_rules():
+            print(f"{lint_rule.rule_id:28s} {lint_rule.severity:8s} "
+                  f"{lint_rule.summary}")
+        return 0
+
+    only = None
+    if args.only:
+        only = [part.strip() for part in args.only.split(",")
+                if part.strip()]
+    try:
+        baseline = load_baseline(args.baseline) if args.baseline else []
+        report = analyze(args.paths, only=only, baseline_entries=baseline,
+                         source=" ".join(args.paths))
+    except (ValueError, OSError) as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        entries = [f.baseline_entry() for f in report.sorted_findings()]
+        Path(args.write_baseline).write_text(
+            json.dumps({"entries": entries}, indent=2) + "\n")
+        print(f"wrote {len(entries)} baseline entr"
+              f"{'y' if len(entries) == 1 else 'ies'} to "
+              f"{args.write_baseline}")
+        return 0
+
+    print(report.render_json() if args.json else report.render_text())
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""The reprolint module walker: files -> ASTs -> rule runs -> report.
+
+The engine mirrors the :mod:`repro.lint` architecture one level up:
+where the netlist linter parses circuits and hands a ``LintContext`` to
+its rule registry, this engine parses Python source files into
+:class:`ModuleContext` objects (AST, import-alias table, suppression
+comments) and hands each to the :mod:`tools.reprolint.rules` registry.
+
+Two escape hatches keep intentional contract exceptions visible
+instead of silent:
+
+* an inline suppression comment with a **mandatory reason**::
+
+      self.chunk_lanes = chunk_lanes  # reprolint: disable=fingerprint-completeness -- no random streams
+
+  A standalone comment line suppresses the next statement line.
+  Reason-less or unknown-rule suppressions are themselves findings
+  (the ``suppression-hygiene`` rule).
+
+* a JSON **baseline file** of ``{rule, path, locus}`` entries for
+  exemptions that cannot live next to the code; matched findings are
+  counted but not reported.  ``--write-baseline`` regenerates it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .report import Finding, Report
+
+__all__ = ["ModuleContext", "Suppression", "analyze", "load_baseline",
+           "parse_modules", "walk_paths"]
+
+#: ``# reprolint: disable=rule-a,rule-b -- reason`` (reason mandatory;
+#: its absence is reported by the ``suppression-hygiene`` rule).
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+?)"
+    r"\s*(?:--\s*(?P<reason>\S.*))?$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# reprolint: disable=...`` comment."""
+
+    line: int                 #: comment's own source line (1-based)
+    target: int               #: statement line the suppression covers
+    rules: tuple[str, ...]
+    reason: str
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line == self.target and finding.rule in self.rules
+
+
+@dataclass
+class ModuleContext:
+    """Everything a reprolint rule may inspect about one source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+    #: local name -> fully dotted module/object it resolves to
+    #: (``np`` -> ``numpy``, ``default_rng`` -> ``numpy.random.default_rng``).
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    # -- name resolution ---------------------------------------------------
+    def dotted(self, node: ast.AST) -> str:
+        """``a.b.c`` for a Name/Attribute chain (empty when not one)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return ""
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def resolve(self, node: ast.AST) -> str:
+        """Like :meth:`dotted`, with the head import alias expanded."""
+        dotted = self.dotted(node)
+        if not dotted:
+            return ""
+        head, _, rest = dotted.partition(".")
+        expanded = self.aliases.get(head, head)
+        return f"{expanded}.{rest}" if rest else expanded
+
+    def finding(self, rule: str, severity: str, message: str,
+                node: ast.AST | None = None, *, line: int | None = None,
+                locus: str = "", hint: str = "") -> Finding:
+        """A :class:`Finding` located in this module."""
+        if line is None:
+            line = getattr(node, "lineno", 0) if node is not None else 0
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(rule, severity, message, path=self.relpath,
+                       line=line, col=col, locus=locus, hint=hint)
+
+
+def _alias_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin, from the module's import statements."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.partition(".")[0]
+                target = name.name if name.asname else \
+                    name.name.partition(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _parse_suppressions(source: str) -> list[Suppression]:
+    """Every ``# reprolint: disable`` comment, with its target line.
+
+    A suppression on a code line covers that line; a standalone comment
+    line covers the next line that carries code.  Malformed comments
+    (no reason) still parse -- with ``reason=""`` -- so the
+    ``suppression-hygiene`` rule can report them precisely.
+    """
+    lines = source.splitlines()
+    out: list[Suppression] = []
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(",")
+                      if part.strip())
+        reason = (match.group("reason") or "").strip()
+        target = number
+        if text.lstrip().startswith("#"):
+            # Standalone comment: cover the next code-bearing line.
+            for offset, following in enumerate(lines[number:], start=1):
+                stripped = following.strip()
+                if stripped and not stripped.startswith("#"):
+                    target = number + offset
+                    break
+        out.append(Suppression(line=number, target=target, rules=rules,
+                               reason=reason))
+    return out
+
+
+# -- walking ---------------------------------------------------------------
+def walk_paths(paths) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files kept, dirs recursed)."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(
+                p for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts))
+        else:
+            files.append(path)
+    return files
+
+
+def _relpath(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def parse_modules(paths) -> tuple[list[ModuleContext], list[Finding]]:
+    """Parse every file into a context; unparsable files become findings."""
+    modules: list[ModuleContext] = []
+    errors: list[Finding] = []
+    for path in walk_paths(paths):
+        relpath = _relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            errors.append(Finding(
+                "parse-error", "error",
+                f"cannot analyse {relpath}: {exc}",
+                path=relpath, line=line,
+                hint="reprolint needs parseable Python; fix the syntax "
+                     "error (or drop the file from the scan set)"))
+            continue
+        modules.append(ModuleContext(
+            path=path, relpath=relpath, source=source, tree=tree,
+            suppressions=_parse_suppressions(source),
+            aliases=_alias_table(tree)))
+    return modules, errors
+
+
+# -- baseline --------------------------------------------------------------
+def load_baseline(path) -> list[dict]:
+    """The baseline's ``{rule, path, locus}`` entries (missing file: none)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    entries = payload.get("entries", payload) if isinstance(payload, dict) \
+        else payload
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} must hold a list of entries")
+    return entries
+
+
+def _baselined(finding: Finding, entries: list[dict]) -> bool:
+    for entry in entries:
+        if (entry.get("rule") == finding.rule
+                and entry.get("locus", "") == finding.locus
+                and finding.path.endswith(entry.get("path", ""))):
+            return True
+    return False
+
+
+# -- the driver ------------------------------------------------------------
+def analyze(paths, *, only=None, baseline_entries=None,
+            source: str = "") -> Report:
+    """Run the (selected) rules over every module under ``paths``.
+
+    Suppression comments (with a reason) and baseline entries filter
+    findings out of the report; both are counted in the summary so a
+    clean run still says how many exemptions it relied on.
+    """
+    from .rules import run_rules  # late: rules import this module
+
+    modules, parse_errors = parse_modules(paths)
+    report = Report(source=source or ", ".join(str(p) for p in paths),
+                    files_scanned=len(modules))
+    raw: list[tuple[ModuleContext | None, Finding]] = [
+        (None, finding) for finding in parse_errors]
+    for module in modules:
+        for finding in run_rules(module, only=only):
+            raw.append((module, finding))
+    entries = baseline_entries or []
+    for module, finding in raw:
+        if module is not None and any(
+                s.covers(finding) and s.reason
+                for s in module.suppressions):
+            report.suppressed += 1
+            continue
+        if entries and _baselined(finding, entries):
+            report.baselined += 1
+            continue
+        report.add(finding)
+    from .rules import iter_rules
+    report.rules_run = tuple(rule.rule_id for rule in iter_rules(only))
+    return report

@@ -1,0 +1,186 @@
+"""Structured reprolint findings and the report they aggregate into.
+
+A :class:`Finding` is one diagnostic produced by a reprolint rule: the
+rule id, a severity, the ``path:line`` locus in the analysed source
+tree, a human-readable message and a fix hint.  A :class:`Report`
+collects the findings of one analysis run and renders them as text
+(for the CLI and CI logs) or JSON (for machine consumption), and maps
+onto the same process exit-code convention ``repro lint`` uses:
+
+* no findings at all, or info only -- clean, exit 0;
+* warnings -- exit 0 normally, nonzero under ``--strict``;
+* errors -- always nonzero (the tree violates a determinism, RNG,
+  lock or telemetry contract the runtime depends on).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["SEVERITIES", "Finding", "Report"]
+
+#: Recognised severities, most severe first.
+SEVERITIES: tuple[str, ...] = ("error", "warning", "info")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a reprolint rule.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (e.g. ``"rng-discipline"``); see
+        ``docs/static-analysis.md`` for the catalogue.
+    severity:
+        ``"error"`` (a contract the runtime depends on is violated),
+        ``"warning"`` (suspicious but survivable) or ``"info"``.
+    message:
+        Human-readable, single-sentence description of the problem.
+    path:
+        Analysed file, relative to the working directory when possible.
+    line, col:
+        1-based source line and 0-based column of the offending node.
+    locus:
+        Stable symbolic location (``Class.method`` or ``Class.field``);
+        what baseline entries match against, so baselines survive
+        unrelated edits that shift line numbers.
+    hint:
+        A short "how to fix it" suggestion.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    path: str = ""
+    line: int = 0
+    col: int = 0
+    locus: str = ""
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r} "
+                             f"(expected one of {SEVERITIES})")
+
+    def render(self) -> str:
+        """One-line text rendering of the finding."""
+        where = f"{self.path}:{self.line}" if self.path else f"{self.line}"
+        parts = [f"{where}: {self.severity}[{self.rule}]: {self.message}"]
+        if self.hint:
+            parts.append(f"    hint: {self.hint}")
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "locus": self.locus,
+            "hint": self.hint,
+        }
+
+    def baseline_entry(self) -> dict:
+        """The stable identity a baseline file records for this finding."""
+        return {"rule": self.rule, "path": self.path, "locus": self.locus}
+
+
+@dataclass
+class Report:
+    """All findings of one reprolint run over one source tree."""
+
+    source: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: tuple[str, ...] = ()
+    suppressed: int = 0
+    baselined: int = 0
+
+    def add(self, finding: Finding) -> None:
+        """Append a finding."""
+        self.findings.append(finding)
+
+    def extend(self, findings) -> None:
+        """Append several findings."""
+        self.findings.extend(findings)
+
+    def sorted_findings(self) -> list[Finding]:
+        """Findings ordered by file, then line, then rule id."""
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.rule))
+
+    # -- severity summary ---------------------------------------------------
+    def count(self, severity: str) -> int:
+        """Number of findings at ``severity``."""
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity == "error" for f in self.findings)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(f.severity == "warning" for f in self.findings)
+
+    def ok(self, *, strict: bool = False) -> bool:
+        """``True`` when the tree passed: no errors, and no warnings
+        either when ``strict``."""
+        if self.has_errors:
+            return False
+        return not (strict and self.has_warnings)
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """Process exit code: 0 clean (warnings tolerated unless
+        ``strict``), 1 otherwise."""
+        return 0 if self.ok(strict=strict) else 1
+
+    def summary(self) -> str:
+        """One-line pass/fail summary."""
+        label = self.source or "tree"
+        scanned = f"{self.files_scanned} file(s)"
+        extras = []
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed")
+        if self.baselined:
+            extras.append(f"{self.baselined} baselined")
+        tail = f" ({', '.join(extras)})" if extras else ""
+        if not self.findings:
+            return f"{label}: clean ({scanned}){tail}"
+        counts = ", ".join(
+            f"{self.count(s)} {s}{'s' if self.count(s) != 1 else ''}"
+            for s in SEVERITIES if self.count(s))
+        return f"{label}: {counts} in {scanned}{tail}"
+
+    # -- renderers ----------------------------------------------------------
+    def render_text(self) -> str:
+        """Multi-line human-readable report (findings + summary)."""
+        lines = [f.render() for f in self.sorted_findings()]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation of the whole report."""
+        return {
+            "source": self.source,
+            "ok": self.ok(),
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "counts": {s: self.count(s) for s in SEVERITIES},
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def render_json(self, *, indent: int = 2) -> str:
+        """JSON rendering of the report."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __str__(self) -> str:
+        return self.render_text()
